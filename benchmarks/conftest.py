@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  To keep
+the suite runnable on a laptop, the default node counts are scaled down from
+the paper's (hundreds instead of thousands of nodes); set the environment
+variable ``CONTINU_BENCH_SCALE=paper`` to run at the paper's sizes (slow —
+expect tens of minutes).  The benchmarked callables return the data they
+produce, and each benchmark also prints a short summary so the regenerated
+rows/series can be compared against EXPERIMENTS.md by eye.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: "small" (default) or "paper".
+SCALE = os.environ.get("CONTINU_BENCH_SCALE", "small")
+
+
+def scaled(small_value, paper_value):
+    """Pick the small or paper-scale variant of a parameter."""
+    return paper_value if SCALE == "paper" else small_value
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The active benchmark scale ("small" or "paper")."""
+    return SCALE

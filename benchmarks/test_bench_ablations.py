@@ -1,0 +1,67 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not paper figures — these quantify how much each mechanism contributes:
+the urgency+rarity scheduler vs rarest-first, the pre-fetch path, the number
+of backup replicas ``k``, and the per-period pre-fetch cap ``l``.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.core.config import SystemConfig
+from repro.experiments.ablations import (
+    format_ablation,
+    run_prefetch_limit_ablation,
+    run_priority_ablation,
+    run_replica_ablation,
+)
+
+
+def _config() -> SystemConfig:
+    return SystemConfig(num_nodes=scaled(120, 500), rounds=scaled(25, 40), seed=0)
+
+
+def test_bench_ablation_priority_and_prefetch(benchmark):
+    points = benchmark.pedantic(
+        run_priority_ablation, args=(_config(),), rounds=1, iterations=1
+    )
+    print("\n" + format_ablation(points))
+    by_name = {point.name: point for point in points}
+    full = by_name["continustreaming full"]
+    baseline = by_name["coolstreaming (rarest-first)"]
+    assert full.stable_continuity > baseline.stable_continuity
+    # Only the full system pays pre-fetch overhead.
+    assert full.prefetch_overhead > 0.0
+    assert baseline.prefetch_overhead == 0.0
+
+
+def test_bench_ablation_backup_replicas(benchmark):
+    points = benchmark.pedantic(
+        run_replica_ablation,
+        kwargs=dict(replica_counts=(1, 2, 4), base_config=_config()),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_ablation(points))
+    assert len(points) == 3
+    # More replicas never reduce continuity by more than noise, and the k=4
+    # configuration (the paper's choice) keeps the overhead small.
+    by_name = {point.name: point for point in points}
+    assert by_name["k=4"].prefetch_overhead < 0.10
+    assert by_name["k=4"].stable_continuity >= by_name["k=1"].stable_continuity - 0.05
+
+
+def test_bench_ablation_prefetch_limit(benchmark):
+    points = benchmark.pedantic(
+        run_prefetch_limit_ablation,
+        kwargs=dict(limits=(0, 5, 10), base_config=_config()),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_ablation(points))
+    by_name = {point.name: point for point in points}
+    # Disabling the pre-fetch removes its overhead entirely; enabling it must
+    # not hurt continuity.
+    assert by_name["l=0"].prefetch_overhead == 0.0
+    assert by_name["l=5"].stable_continuity >= by_name["l=0"].stable_continuity - 0.03

@@ -1,0 +1,36 @@
+"""Figure 10 benchmark — per-round pre-fetch overhead track (static & dynamic).
+
+Paper values (1000 nodes): near zero in the first seconds, then a stable
+phase around 0.023 (static) and 0.03 (dynamic).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments.fig10_11_prefetch import run_prefetch_overhead_track
+
+
+def test_bench_fig10_prefetch_track(benchmark):
+    num_nodes = scaled(150, 1000)
+    rounds = scaled(30, 30)
+
+    tracks = benchmark.pedantic(
+        run_prefetch_overhead_track,
+        kwargs=dict(num_nodes=num_nodes, rounds=rounds, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    for label, track in tracks.items():
+        series = ", ".join(f"{value:.4f}" for value in track.overhead)
+        print(f"\n{label}: stable {track.stable_overhead:.4f}  track [{series}]")
+
+    static = tracks["static"]
+    dynamic = tracks["dynamic"]
+    # The overhead is a small fraction of the data traffic in both cases.
+    assert static.stable_overhead < 0.08
+    assert dynamic.stable_overhead < 0.12
+    # The very first round has (almost) no pre-fetch traffic: the urgent-line
+    # trigger condition suppresses it while most nodes miss more than l segments.
+    assert static.overhead[0] < 0.01

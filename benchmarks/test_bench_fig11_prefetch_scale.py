@@ -1,0 +1,36 @@
+"""Figure 11 benchmark — stable-phase pre-fetch overhead vs overlay size.
+
+Paper values: below 0.04 for every size from 100 to 8000 nodes, with dynamic
+environments consistently costlier than static ones.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments.fig10_11_prefetch import (
+    format_prefetch_scale,
+    run_prefetch_overhead_scale,
+)
+
+
+def test_bench_fig11_prefetch_scale(benchmark):
+    sizes = scaled([80, 150, 250], [100, 500, 1000, 2000, 4000, 8000])
+    rounds = scaled(25, 30)
+
+    points = benchmark.pedantic(
+        run_prefetch_overhead_scale,
+        kwargs=dict(sizes=sizes, rounds=rounds, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + format_prefetch_scale(points))
+    for point in points:
+        # The extra cost of the DHT-assisted pre-fetch stays small.
+        assert point.prefetch_overhead < 0.10
+    # For each size, the dynamic environment pays at least as much as static.
+    for size in {point.num_nodes for point in points}:
+        static = next(p for p in points if p.num_nodes == size and not p.dynamic)
+        dynamic = next(p for p in points if p.num_nodes == size and p.dynamic)
+        assert dynamic.prefetch_overhead >= static.prefetch_overhead - 0.01

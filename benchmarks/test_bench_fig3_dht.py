@@ -1,0 +1,28 @@
+"""Figure 3 benchmark — DHT routing hops and query success rate vs n.
+
+Paper values (N = 8192): average hops very close to ``log2(n)/2`` (about 3
+to 6.5 over the sweep) and query success rate very close to 1.0 even on a
+sparse ring.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments.fig3_dht import format_fig3, run_fig3_dht
+
+
+def test_bench_fig3_dht_routing(benchmark):
+    node_counts = scaled([200, 500, 1000], [500, 1000, 2000, 4000, 8000])
+    lookups = scaled(500, 2000)
+
+    points = benchmark(
+        run_fig3_dht, node_counts=node_counts, lookups_per_size=lookups, seed=0
+    )
+
+    print("\n" + format_fig3(points))
+    for point in points:
+        # Shape checks from the paper: near-perfect success, hops near log2(n)/2.
+        assert point.success_rate > 0.9
+        assert point.average_hops < point.expected_hops + 2.0
+        assert point.average_hops > point.expected_hops - 2.5

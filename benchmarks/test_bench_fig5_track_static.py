@@ -1,0 +1,33 @@
+"""Figure 5 benchmark — continuity track over 30 s, static, single source.
+
+Paper values (1000 nodes): CoolStreaming enters its stable phase around 26 s
+at ~0.83 continuity; ContinuStreaming around 18 s at ~0.97.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments.fig5_6_track import format_track, run_continuity_track
+
+
+def test_bench_fig5_continuity_track_static(benchmark):
+    num_nodes = scaled(200, 1000)
+    rounds = scaled(35, 30)
+
+    results = benchmark.pedantic(
+        run_continuity_track,
+        kwargs=dict(num_nodes=num_nodes, rounds=rounds, dynamic=False, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + format_track(results))
+    cool = results["coolstreaming"]
+    conti = results["continustreaming"]
+    # Shape: ContinuStreaming ends up clearly above CoolStreaming and close to 1.
+    assert conti.stable_continuity > cool.stable_continuity
+    assert conti.stable_continuity > 0.85
+    # Both start from (near) zero and ramp up.
+    assert cool.continuity[0] < 0.2
+    assert conti.continuity[0] < 0.2

@@ -1,0 +1,29 @@
+"""Figure 7 benchmark — stable continuity vs overlay size, static environments.
+
+Paper trend (100-8000 nodes, M = 5): both systems' continuity decreases
+slowly with size, ContinuStreaming stays well above CoolStreaming at every
+size, and the increment grows with the size.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments.fig7_8_scale import format_scale_sweep, run_scale_sweep
+
+
+def test_bench_fig7_scale_static(benchmark):
+    sizes = scaled([80, 150, 250], [100, 500, 1000, 2000, 4000, 8000])
+    rounds = scaled(30, 40)
+
+    points = benchmark.pedantic(
+        run_scale_sweep,
+        kwargs=dict(sizes=sizes, dynamic=False, rounds=rounds, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + format_scale_sweep(points))
+    for point in points:
+        assert point.continustreaming > point.coolstreaming
+        assert point.continustreaming > 0.8

@@ -1,0 +1,29 @@
+"""Figure 8 benchmark — stable continuity vs overlay size, dynamic environments.
+
+Paper trend: same ordering as Figure 7 but with lower absolute values under
+the 5% + 5% per-period churn, and a larger ContinuStreaming increment.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments.fig7_8_scale import format_scale_sweep, run_scale_sweep
+
+
+def test_bench_fig8_scale_dynamic(benchmark):
+    sizes = scaled([80, 150, 250], [100, 500, 1000, 2000, 4000, 8000])
+    rounds = scaled(30, 40)
+
+    points = benchmark.pedantic(
+        run_scale_sweep,
+        kwargs=dict(sizes=sizes, dynamic=True, rounds=rounds, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + format_scale_sweep(points))
+    for point in points:
+        # Under churn ContinuStreaming must not fall behind the baseline.
+        assert point.continustreaming >= point.coolstreaming - 0.05
+        assert 0.0 < point.coolstreaming < 1.0

@@ -1,0 +1,36 @@
+"""Figure 9 benchmark — control overhead vs overlay size for M = 4, 5, 6.
+
+Paper values: all combinations stay below 0.02, slightly above the analytic
+``M / 495`` estimate because real continuity is below 1.0.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.experiments.fig9_control import format_control_overhead, run_control_overhead
+
+
+def test_bench_fig9_control_overhead(benchmark):
+    sizes = scaled([80, 150], [100, 500, 1000, 2000, 4000, 8000])
+    rounds = scaled(25, 30)
+
+    points = benchmark.pedantic(
+        run_control_overhead,
+        kwargs=dict(sizes=sizes, neighbor_counts=[4, 5, 6], rounds=rounds, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + format_control_overhead(points))
+    for point in points:
+        # The headline claim: control overhead is a minor part of the traffic.
+        assert point.control_overhead < 0.05
+    # More neighbours -> more buffer-map traffic, for every size.
+    for size in {point.num_nodes for point in points}:
+        by_m = {
+            point.connected_neighbors: point.control_overhead
+            for point in points
+            if point.num_nodes == size
+        }
+        assert by_m[4] < by_m[6]

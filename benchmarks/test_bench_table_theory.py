@@ -1,0 +1,44 @@
+"""Section 5.1 table benchmark — theory vs simulation of PC_old / PC_new / delta.
+
+Paper values (1000 nodes): theory λ=15 gives 0.8815 / 0.9989; the simulated
+environments range from 0.8166-0.8748 (PC_old) to 0.9537-0.9979 (PC_new),
+with dynamic and heterogeneous environments at the lower end.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.core.config import SystemConfig
+from repro.experiments.table_theory import (
+    format_theory_table,
+    paper_reference_rows,
+    run_theory_table,
+)
+
+
+def test_bench_table_theory(benchmark):
+    config = SystemConfig(
+        num_nodes=scaled(150, 1000), rounds=scaled(30, 40), seed=0
+    )
+
+    rows = benchmark.pedantic(
+        run_theory_table, args=(config,), rounds=1, iterations=1
+    )
+
+    print("\nmeasured:\n" + format_theory_table(rows))
+    print("\npaper reference:\n" + format_theory_table(paper_reference_rows()))
+
+    by_env = {row.environment: row for row in rows}
+    # Analytic rows must match the paper exactly (they are closed-form).
+    assert abs(by_env["theory λ=15"].pc_old - 0.8815) < 5e-3
+    assert abs(by_env["theory λ=15"].pc_new - 0.9989) < 5e-3
+    # Simulated rows must preserve the ordering the paper reports:
+    # pre-fetch improves continuity in every environment, and the static
+    # environment is no worse than its dynamic counterpart.
+    for env in ("homogeneous static", "heterogeneous static"):
+        assert by_env[env].pc_new > by_env[env].pc_old
+    assert (
+        by_env["homogeneous static"].pc_new
+        >= by_env["homogeneous dynamic"].pc_new - 0.05
+    )

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools lacks the ``wheel`` package required by the
+PEP 517 editable-install path (the metadata itself lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

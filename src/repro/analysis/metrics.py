@@ -1,0 +1,109 @@
+"""Metric aggregation helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One row of an experiment result table.
+
+    Attributes:
+        experiment: experiment identifier (e.g. ``"figure5"``).
+        label: row label (e.g. ``"continustreaming/static"``).
+        values: named scalar results of the row.
+        series: optional named time series (e.g. the continuity track).
+    """
+
+    experiment: str
+    label: str
+    values: Mapping[str, float]
+    series: Mapping[str, Sequence[float]] = field(default_factory=dict)
+
+    def value(self, name: str) -> float:
+        """A named scalar value of this row."""
+        return float(self.values[name])
+
+    def formatted(self, precision: int = 4) -> str:
+        """Human-readable one-line rendering of the row."""
+        parts = ", ".join(
+            f"{key}={value:.{precision}f}" for key, value in sorted(self.values.items())
+        )
+        return f"[{self.experiment}] {self.label}: {parts}"
+
+
+def summarize_runs(values: Iterable[float]) -> Dict[str, float]:
+    """Mean / std / min / max summary of repeated runs of one metric."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0, "count": 0.0}
+    return {
+        "mean": float(data.mean()),
+        "std": float(data.std(ddof=0)),
+        "min": float(data.min()),
+        "max": float(data.max()),
+        "count": float(data.size),
+    }
+
+
+def moving_average(series: Sequence[float], window: int) -> List[float]:
+    """Simple trailing moving average (window clipped at the series start)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    result: List[float] = []
+    for index in range(len(series)):
+        start = max(0, index - window + 1)
+        chunk = series[start : index + 1]
+        result.append(float(sum(chunk) / len(chunk)))
+    return result
+
+
+def stable_phase_mean(series: Sequence[float], skip_fraction: float = 2 / 3) -> float:
+    """Mean of the trailing part of a time series (the "stable phase")."""
+    if not series:
+        return 0.0
+    if not (0.0 <= skip_fraction < 1.0):
+        raise ValueError("skip_fraction must be in [0, 1)")
+    start = int(len(series) * skip_fraction)
+    tail = list(series[start:]) or [series[-1]]
+    return float(sum(tail) / len(tail))
+
+
+def time_to_threshold(
+    times: Sequence[float], series: Sequence[float], threshold: float
+) -> Optional[float]:
+    """First time the series reaches ``threshold`` (None if it never does)."""
+    for time, value in zip(times, series):
+        if value >= threshold:
+            return float(time)
+    return None
+
+
+def render_table(
+    records: Sequence[ExperimentRecord], columns: Sequence[str], precision: int = 4
+) -> str:
+    """Render experiment records as a plain-text table (for EXPERIMENTS.md)."""
+    header = ["label", *columns]
+    rows = [
+        [record.label]
+        + [
+            f"{record.values.get(col, float('nan')):.{precision}f}"
+            for col in columns
+        ]
+        for record in records
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        " | ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "-|-".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)

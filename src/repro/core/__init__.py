@@ -1,0 +1,35 @@
+"""Core contribution: the ContinuStreaming node and system, plus the baseline.
+
+* :mod:`repro.core.config` — every tunable of the paper's evaluation in one
+  validated dataclass.
+* :mod:`repro.core.scheduler` — urgency/rarity priorities (equations (1)-(3))
+  and the greedy supplier assignment of Algorithm 1; also the rarest-first
+  priority used by the CoolStreaming baseline.
+* :mod:`repro.core.urgent_line` — the Urgent Line predictor with its
+  adaptively tuned urgent ratio ``alpha`` (equations (4), (8), (9) and the
+  overdue/repeated update rules).
+* :mod:`repro.core.ondemand` — Algorithm 2: DHT location of the ``k`` backup
+  holders and selection of the best on-demand supplier.
+* :mod:`repro.core.backup` — the per-node VoD Data Backup store and the
+  responsibility rule of equation (5), including leave-time handover.
+* :mod:`repro.core.rate_controller` — per-neighbour receive-rate estimation.
+* :mod:`repro.core.node` / :mod:`repro.core.baseline` /
+  :mod:`repro.core.continu` — node state machines.
+* :mod:`repro.core.system` — the round-driven simulator tying everything to
+  the substrates, producing the metrics the paper reports.
+"""
+
+from repro.core.baseline import CoolStreamingNode
+from repro.core.config import SystemConfig
+from repro.core.continu import ContinuStreamingNode
+from repro.core.node import StreamingNode
+from repro.core.system import SimulationResult, StreamingSystem
+
+__all__ = [
+    "SystemConfig",
+    "StreamingNode",
+    "CoolStreamingNode",
+    "ContinuStreamingNode",
+    "StreamingSystem",
+    "SimulationResult",
+]

@@ -1,0 +1,28 @@
+"""The CoolStreaming baseline node.
+
+CoolStreaming/DONet is the representative gossip-based P2P streaming system
+the paper compares against: the same periodic buffer-map exchange and pull
+scheduling over ``M`` connected neighbours, but
+
+* the requesting priority is plain *rarest-first* (``1 / n_i``, fewer
+  suppliers = higher priority), and
+* there is no DHT, no urgent line and no on-demand pre-fetch — a segment the
+  gossip misses is simply lost.
+
+Everything else (buffers, bandwidth, membership, churn handling) is shared
+with :class:`~repro.core.node.StreamingNode` so that the comparison isolates
+exactly the mechanisms the paper adds.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import StreamingNode
+
+
+class CoolStreamingNode(StreamingNode):
+    """A node running the CoolStreaming (rarest-first, no pre-fetch) policy."""
+
+    POLICY = "rarest_first"
+
+    #: CoolStreaming nodes never pre-fetch; the system checks this flag.
+    SUPPORTS_PREFETCH = False

@@ -1,0 +1,249 @@
+"""The Peer Table of Section 4.1.
+
+Every node keeps a Peer Table with three parts:
+
+1. **Connected Neighbors** — ``M`` neighbours in the unstructured overlay,
+   connected by (simulated) TCP and used for the periodic buffer-map/data
+   exchange.  A failed or unproductive neighbour is replaced by the overheard
+   node with the lowest latency.
+2. **DHT Peers** — ``log N`` peers ordered by level.  The level-``i`` peer of
+   node ``n`` may be *any* node whose id lies in ``[n + 2^(i-1), n + 2^i)``
+   (mod ``N``): the DHT is loosely organised, so maintenance is cheap.
+3. **Overheard Nodes** — the latest ``H`` nodes overheard from routing
+   messages passing by (``H = 20`` suffices per the paper); both other parts
+   are refreshed from this list at no extra communication cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.dht.ring import IdRing
+
+
+@dataclass(frozen=True)
+class NeighborEntry:
+    """A connected (gossip) neighbour row of the Peer Table."""
+
+    peer_id: int
+    latency_ms: float
+    recent_supply_rate: float = 0.0  # segments/s supplied to us recently
+
+    def with_supply_rate(self, rate: float) -> "NeighborEntry":
+        """Copy of the entry with an updated supply rate."""
+        return replace(self, recent_supply_rate=float(rate))
+
+
+@dataclass(frozen=True)
+class DhtPeerEntry:
+    """A DHT peer row: the level-``i`` finger of the local node."""
+
+    level: int
+    peer_id: int
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class OverheardEntry:
+    """A recently overheard node (from routing messages passing by)."""
+
+    peer_id: int
+    latency_ms: float
+    overheard_at: float = 0.0
+
+
+@dataclass
+class PeerTable:
+    """The three-part Peer Table of one node.
+
+    Attributes:
+        owner_id: id of the node owning this table.
+        ring: the identifier ring (defines levels and distances).
+        max_neighbors: ``M`` — number of connected neighbours to keep.
+        max_overheard: ``H`` — number of overheard nodes to remember.
+    """
+
+    owner_id: int
+    ring: IdRing
+    max_neighbors: int = 5
+    max_overheard: int = 20
+    neighbors: Dict[int, NeighborEntry] = field(default_factory=dict)
+    dht_peers: Dict[int, DhtPeerEntry] = field(default_factory=dict)  # level -> entry
+    overheard: List[OverheardEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------- connected neighbours
+    def neighbor_ids(self) -> List[int]:
+        """Ids of the connected neighbours (sorted)."""
+        return sorted(self.neighbors)
+
+    def has_neighbor(self, peer_id: int) -> bool:
+        return peer_id in self.neighbors
+
+    def neighbor_slots_free(self) -> int:
+        """How many more connected neighbours can be added."""
+        return max(0, self.max_neighbors - len(self.neighbors))
+
+    def add_neighbor(self, entry: NeighborEntry) -> bool:
+        """Add a connected neighbour if there is a free slot and it is new."""
+        if entry.peer_id == self.owner_id:
+            return False
+        if entry.peer_id in self.neighbors:
+            return False
+        if len(self.neighbors) >= self.max_neighbors:
+            return False
+        self.neighbors[entry.peer_id] = entry
+        return True
+
+    def remove_neighbor(self, peer_id: int) -> Optional[NeighborEntry]:
+        """Drop a connected neighbour (returns the removed entry, if any)."""
+        return self.neighbors.pop(peer_id, None)
+
+    def record_supply(self, peer_id: int, rate: float) -> None:
+        """Update the recent supply rate of a connected neighbour."""
+        entry = self.neighbors.get(peer_id)
+        if entry is not None:
+            self.neighbors[peer_id] = entry.with_supply_rate(rate)
+
+    def worst_neighbor(self) -> Optional[int]:
+        """The connected neighbour with the lowest recent supply rate."""
+        if not self.neighbors:
+            return None
+        return min(
+            self.neighbors.values(), key=lambda e: (e.recent_supply_rate, e.peer_id)
+        ).peer_id
+
+    def replace_neighbor(self, old_id: int, new_entry: NeighborEntry) -> bool:
+        """Replace a failed/unproductive neighbour with a new one."""
+        if new_entry.peer_id == self.owner_id or new_entry.peer_id in self.neighbors:
+            return False
+        self.neighbors.pop(old_id, None)
+        if len(self.neighbors) >= self.max_neighbors:
+            return False
+        self.neighbors[new_entry.peer_id] = new_entry
+        return True
+
+    # ----------------------------------------------------------------- DHT peers
+    def dht_peer_ids(self) -> List[int]:
+        """Ids of the current DHT peers (ordered by level)."""
+        return [self.dht_peers[level].peer_id for level in sorted(self.dht_peers)]
+
+    def dht_peer_at_level(self, level: int) -> Optional[DhtPeerEntry]:
+        return self.dht_peers.get(level)
+
+    def set_dht_peer(self, peer_id: int, latency_ms: float) -> Optional[int]:
+        """Install ``peer_id`` as the DHT peer of its level.
+
+        The level is derived from the clockwise distance ``owner -> peer``;
+        a peer at distance 0 (the owner itself) is rejected.  Returns the
+        level used, or ``None`` if rejected.
+        """
+        if peer_id == self.owner_id:
+            return None
+        level = self.ring.level_of(self.owner_id, peer_id)
+        if level < 1 or level > self.ring.bits:
+            return None
+        self.dht_peers[level] = DhtPeerEntry(
+            level=level, peer_id=self.ring.normalize(peer_id), latency_ms=latency_ms
+        )
+        return level
+
+    def remove_dht_peer(self, peer_id: int) -> None:
+        """Forget every finger pointing at ``peer_id`` (after its failure)."""
+        stale = [lvl for lvl, entry in self.dht_peers.items() if entry.peer_id == peer_id]
+        for lvl in stale:
+            del self.dht_peers[lvl]
+
+    def closest_dht_peer(self) -> Optional[int]:
+        """The clockwise-closest DHT peer (``n1`` in equation (5)).
+
+        This is the peer at the lowest populated level; ties cannot happen
+        because each level holds one entry.
+        """
+        if not self.dht_peers:
+            return None
+        lowest = min(self.dht_peers)
+        return self.dht_peers[lowest].peer_id
+
+    def routing_candidates(self) -> List[int]:
+        """All ids usable as next hops: DHT peers plus connected neighbours.
+
+        The paper routes over the DHT peers; adding connected neighbours only
+        improves the loose ring's success rate and does not change levels.
+        """
+        ids = set(self.dht_peer_ids())
+        ids.update(self.neighbors)
+        ids.discard(self.owner_id)
+        return sorted(ids)
+
+    # ------------------------------------------------------------ overheard nodes
+    def overheard_ids(self) -> List[int]:
+        return [entry.peer_id for entry in self.overheard]
+
+    def record_overheard(self, entry: OverheardEntry) -> None:
+        """Record an overheard node, keeping at most ``max_overheard`` entries.
+
+        Newest entries are kept at the end; re-hearing a node refreshes its
+        position and latency estimate.
+        """
+        if entry.peer_id == self.owner_id:
+            return
+        self.overheard = [e for e in self.overheard if e.peer_id != entry.peer_id]
+        self.overheard.append(entry)
+        if len(self.overheard) > self.max_overheard:
+            self.overheard = self.overheard[-self.max_overheard:]
+
+    def forget_overheard(self, peer_id: int) -> None:
+        """Drop a departed node from the overheard list."""
+        self.overheard = [e for e in self.overheard if e.peer_id != peer_id]
+
+    def lowest_latency_overheard(
+        self, exclude: Optional[Iterable[int]] = None
+    ) -> Optional[OverheardEntry]:
+        """The overheard node with the lowest latency, excluding ``exclude``."""
+        banned = set(exclude or ())
+        banned.add(self.owner_id)
+        candidates = [e for e in self.overheard if e.peer_id not in banned]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: (e.latency_ms, e.peer_id))
+
+    # ------------------------------------------------------------------- refresh
+    def refresh_dht_peers_from_overheard(self) -> int:
+        """Fill / renew DHT-peer levels from the overheard list.
+
+        For every overheard node whose level currently has no entry (or whose
+        entry is the same node with a staler latency), install it.  Returns
+        the number of levels updated.  This is the "node state update ...
+        mainly achieved by overhearing the routing messages passing by" of
+        Section 3, and costs no communication.
+        """
+        updated = 0
+        for entry in self.overheard:
+            level = self.ring.level_of(self.owner_id, entry.peer_id)
+            if level < 1 or level > self.ring.bits:
+                continue
+            current = self.dht_peers.get(level)
+            if current is None or current.peer_id == entry.peer_id:
+                self.dht_peers[level] = DhtPeerEntry(
+                    level=level, peer_id=entry.peer_id, latency_ms=entry.latency_ms
+                )
+                updated += 1
+        return updated
+
+    def adopt_base_table(self, other: "PeerTable") -> None:
+        """Use another node's table as the base of this one (join bootstrap).
+
+        The joining node copies the bootstrap node's DHT peers (re-levelled
+        relative to itself) and treats its neighbours as overheard candidates.
+        """
+        for entry in other.dht_peers.values():
+            self.set_dht_peer(entry.peer_id, entry.latency_ms)
+        for neigh in other.neighbors.values():
+            self.record_overheard(
+                OverheardEntry(peer_id=neigh.peer_id, latency_ms=neigh.latency_ms)
+            )
+        self.record_overheard(
+            OverheardEntry(peer_id=other.owner_id, latency_ms=0.0)
+        )
+        self.refresh_dht_peers_from_overheard()

@@ -1,0 +1,125 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+These are not figures from the paper; they quantify the contribution of the
+individual mechanisms ContinuStreaming layers on top of the CoolStreaming
+baseline:
+
+* scheduling policy — urgency+rarity (equations (1)-(3)) vs rarest-first;
+* the adaptive urgent ratio ``α`` vs a fixed one;
+* the number of backup replicas ``k`` (the analytic per-segment pre-fetch
+  failure probability is ``(½)^k``);
+* the per-period pre-fetch cap ``l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.system import StreamingSystem
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One configuration of an ablation sweep."""
+
+    name: str
+    stable_continuity: float
+    prefetch_overhead: float
+    control_overhead: float
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "stable_continuity": self.stable_continuity,
+            "prefetch_overhead": self.prefetch_overhead,
+            "control_overhead": self.control_overhead,
+        }
+
+
+def _run(name: str, config: SystemConfig, system: str) -> AblationPoint:
+    run = StreamingSystem(config, system=system).run()
+    return AblationPoint(
+        name=name,
+        stable_continuity=run.stable_continuity(),
+        prefetch_overhead=run.prefetch_overhead(),
+        control_overhead=run.control_overhead(),
+    )
+
+
+def run_priority_ablation(
+    base_config: Optional[SystemConfig] = None,
+) -> List[AblationPoint]:
+    """Scheduling-policy ablation.
+
+    Compares the CoolStreaming baseline, ContinuStreaming with its pre-fetch
+    disabled (scheduler-only effect) and the full ContinuStreaming system, on
+    the same topology/seed.
+    """
+    config = base_config or SystemConfig(num_nodes=200, rounds=30)
+    return [
+        _run("coolstreaming (rarest-first)", config, "coolstreaming"),
+        _run(
+            "continustreaming scheduler only (no pre-fetch)",
+            replace(config, prefetch_limit=0),
+            "continustreaming",
+        ),
+        _run("continustreaming full", config, "continustreaming"),
+    ]
+
+
+def run_replica_ablation(
+    replica_counts: Sequence[int] = (1, 2, 4, 8),
+    base_config: Optional[SystemConfig] = None,
+) -> List[AblationPoint]:
+    """Backup-replica ablation: ``k`` vs continuity and overhead."""
+    config = base_config or SystemConfig(num_nodes=200, rounds=30)
+    return [
+        _run(f"k={k}", replace(config, backup_replicas=k), "continustreaming")
+        for k in replica_counts
+    ]
+
+
+def run_prefetch_limit_ablation(
+    limits: Sequence[int] = (0, 2, 5, 10),
+    base_config: Optional[SystemConfig] = None,
+) -> List[AblationPoint]:
+    """Pre-fetch cap ablation: ``l`` vs continuity and overhead."""
+    config = base_config or SystemConfig(num_nodes=200, rounds=30)
+    return [
+        _run(f"l={limit}", replace(config, prefetch_limit=limit), "continustreaming")
+        for limit in limits
+    ]
+
+
+def run_churn_sensitivity(
+    churn_fractions: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    base_config: Optional[SystemConfig] = None,
+) -> List[AblationPoint]:
+    """Continuity of both systems as the per-round churn grows."""
+    config = base_config or SystemConfig(num_nodes=200, rounds=30)
+    points: List[AblationPoint] = []
+    for fraction in churn_fractions:
+        churned = replace(
+            config, leave_fraction=fraction, join_fraction=fraction
+        )
+        points.append(_run(f"coolstreaming churn={fraction:g}", churned, "coolstreaming"))
+        points.append(
+            _run(f"continustreaming churn={fraction:g}", churned, "continustreaming")
+        )
+    return points
+
+
+def format_ablation(points: Sequence[AblationPoint]) -> str:
+    """Plain-text rendering of an ablation sweep."""
+    header = (
+        f"{'configuration':<46} | {'continuity':>10} | {'pre-fetch':>9} | {'control':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for point in points:
+        lines.append(
+            f"{point.name:<46} | {point.stable_continuity:>10.3f} | "
+            f"{point.prefetch_overhead:>9.4f} | {point.control_overhead:>7.4f}"
+        )
+    return "\n".join(lines)

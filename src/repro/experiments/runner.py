@@ -1,0 +1,196 @@
+"""Command-line runner for the experiment suite.
+
+Usage (installed as ``continustreaming-experiments``)::
+
+    continustreaming-experiments fig3                # Figure 3 (DHT)
+    continustreaming-experiments table               # Section 5.1 table
+    continustreaming-experiments fig5 --nodes 300    # static continuity track
+    continustreaming-experiments fig6 --nodes 300    # dynamic continuity track
+    continustreaming-experiments fig7 --sizes 100 200 400
+    continustreaming-experiments fig9
+    continustreaming-experiments fig10
+    continustreaming-experiments fig11
+    continustreaming-experiments ablations
+    continustreaming-experiments all --scale small
+
+``--scale paper`` uses the paper's node counts (slow: thousands of nodes);
+``--scale small`` (default) uses laptop-friendly sizes that preserve the
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.experiments import fig3_dht, fig5_6_track, fig7_8_scale, fig9_control
+from repro.experiments import ablations as ablations_mod
+from repro.experiments import fig10_11_prefetch, table_theory
+
+
+def _sizes_for(scale: str, paper: Sequence[int], small: Sequence[int]) -> List[int]:
+    return list(paper if scale == "paper" else small)
+
+
+def _default_nodes(scale: str) -> int:
+    return 1000 if scale == "paper" else 200
+
+
+def cmd_fig3(args: argparse.Namespace) -> str:
+    counts = args.sizes or _sizes_for(
+        args.scale, fig3_dht.PAPER_NODE_COUNTS, fig3_dht.SMALL_NODE_COUNTS
+    )
+    points = fig3_dht.run_fig3_dht(
+        node_counts=counts, lookups_per_size=args.lookups, seed=args.seed
+    )
+    return fig3_dht.format_fig3(points)
+
+
+def cmd_table(args: argparse.Namespace) -> str:
+    nodes = args.nodes or _default_nodes(args.scale)
+    config = SystemConfig(num_nodes=nodes, rounds=args.rounds, seed=args.seed)
+    rows = table_theory.run_theory_table(config)
+    measured = table_theory.format_theory_table(rows)
+    reference = table_theory.format_theory_table(table_theory.paper_reference_rows())
+    return f"measured:\n{measured}\n\npaper reference:\n{reference}"
+
+
+def _track(args: argparse.Namespace, dynamic: bool) -> str:
+    nodes = args.nodes or _default_nodes(args.scale)
+    results = fig5_6_track.run_continuity_track(
+        num_nodes=nodes, rounds=args.rounds, dynamic=dynamic, seed=args.seed
+    )
+    return fig5_6_track.format_track(results)
+
+
+def cmd_fig5(args: argparse.Namespace) -> str:
+    return _track(args, dynamic=False)
+
+
+def cmd_fig6(args: argparse.Namespace) -> str:
+    return _track(args, dynamic=True)
+
+
+def _scale_sweep(args: argparse.Namespace, dynamic: bool) -> str:
+    sizes = args.sizes or _sizes_for(
+        args.scale, fig7_8_scale.PAPER_SIZES, fig7_8_scale.SMALL_SIZES
+    )
+    points = fig7_8_scale.run_scale_sweep(
+        sizes=sizes, dynamic=dynamic, rounds=args.rounds, seed=args.seed
+    )
+    return fig7_8_scale.format_scale_sweep(points)
+
+
+def cmd_fig7(args: argparse.Namespace) -> str:
+    return _scale_sweep(args, dynamic=False)
+
+
+def cmd_fig8(args: argparse.Namespace) -> str:
+    return _scale_sweep(args, dynamic=True)
+
+
+def cmd_fig9(args: argparse.Namespace) -> str:
+    sizes = args.sizes or _sizes_for(
+        args.scale, fig9_control.PAPER_SIZES, fig9_control.SMALL_SIZES
+    )
+    points = fig9_control.run_control_overhead(
+        sizes=sizes, rounds=args.rounds, seed=args.seed
+    )
+    return fig9_control.format_control_overhead(points)
+
+
+def cmd_fig10(args: argparse.Namespace) -> str:
+    nodes = args.nodes or _default_nodes(args.scale)
+    tracks = fig10_11_prefetch.run_prefetch_overhead_track(
+        num_nodes=nodes, rounds=args.rounds, seed=args.seed
+    )
+    lines = []
+    for label, track in tracks.items():
+        lines.append(
+            f"{label}: stable pre-fetch overhead {track.stable_overhead:.4f}"
+        )
+        lines.append(
+            "  track: [" + ", ".join(f"{value:.4f}" for value in track.overhead) + "]"
+        )
+    return "\n".join(lines)
+
+
+def cmd_fig11(args: argparse.Namespace) -> str:
+    sizes = args.sizes or _sizes_for(
+        args.scale, fig10_11_prefetch.PAPER_SIZES, fig10_11_prefetch.SMALL_SIZES
+    )
+    points = fig10_11_prefetch.run_prefetch_overhead_scale(
+        sizes=sizes, rounds=args.rounds, seed=args.seed
+    )
+    return fig10_11_prefetch.format_prefetch_scale(points)
+
+
+def cmd_ablations(args: argparse.Namespace) -> str:
+    nodes = args.nodes or _default_nodes(args.scale)
+    config = SystemConfig(num_nodes=nodes, rounds=args.rounds, seed=args.seed)
+    sections = [
+        ("priority / pre-fetch", ablations_mod.run_priority_ablation(config)),
+        ("backup replicas k", ablations_mod.run_replica_ablation(base_config=config)),
+        ("pre-fetch cap l", ablations_mod.run_prefetch_limit_ablation(base_config=config)),
+    ]
+    lines = []
+    for title, points in sections:
+        lines.append(f"== {title} ==")
+        lines.append(ablations_mod.format_ablation(points))
+        lines.append("")
+    return "\n".join(lines)
+
+
+COMMANDS = {
+    "fig3": cmd_fig3,
+    "table": cmd_table,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "ablations": cmd_ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="continustreaming-experiments",
+        description="Regenerate the tables and figures of the ContinuStreaming paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*COMMANDS.keys(), "all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument("--scale", choices=("small", "paper"), default="small",
+                        help="node-count scale (default: small)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the overlay size for single-size experiments")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="override the size sweep for sweep experiments")
+    parser.add_argument("--rounds", type=int, default=30,
+                        help="scheduling periods to simulate (default: 30)")
+    parser.add_argument("--lookups", type=int, default=2000,
+                        help="random lookups per size for fig3 (default: 2000)")
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``continustreaming-experiments`` console script."""
+    args = build_parser().parse_args(argv)
+    names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"==== {name} ====")
+        print(COMMANDS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Network substrate: overlay topology, traces, latency, bandwidth, churn.
+
+The paper evaluates on 30 real Gnutella crawl topologies (dss.clip2.com,
+2000-2001) of 100-10000 nodes, of which it only uses node id, IP and ping
+time, and then densifies the graph with random edges until every node has
+``M`` connected neighbours.  Those traces are no longer available, so
+:mod:`repro.net.trace` synthesises statistically equivalent ones (same record
+schema, size range, degree range, ping-time distribution) and the rest of the
+pipeline treats them identically.
+"""
+
+from repro.net.bandwidth import BandwidthModel, NodeBandwidth
+from repro.net.churn import ChurnProcess, ChurnEvent
+from repro.net.latency import LatencyModel
+from repro.net.message import MessageKind, MessageLedger, ROUTING_MESSAGE_BITS
+from repro.net.topology import OverlayTopology
+from repro.net.trace import TraceNodeRecord, TraceTopologyGenerator
+
+__all__ = [
+    "OverlayTopology",
+    "TraceNodeRecord",
+    "TraceTopologyGenerator",
+    "LatencyModel",
+    "BandwidthModel",
+    "NodeBandwidth",
+    "MessageKind",
+    "MessageLedger",
+    "ROUTING_MESSAGE_BITS",
+    "ChurnProcess",
+    "ChurnEvent",
+]

@@ -1,0 +1,144 @@
+"""Per-node inbound/outbound bandwidth model.
+
+Section 5.2 of the paper assigns every node a random inbound rate between
+300 Kbps and 1 Mbps (mean 450 Kbps), i.e. between 10 and 33 segments per
+second with a mean of 15, and outbound rates likewise; the media source has
+zero inbound rate and a much larger outbound rate (about 100 segments/s).
+
+Rates are expressed in *segments per second* throughout the simulator, which
+keeps the scheduling arithmetic (equations (1)-(3) and Algorithm 1) in the
+paper's own units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+
+@dataclass
+class NodeBandwidth:
+    """Inbound/outbound capacity of one node, in segments per second."""
+
+    inbound: float
+    outbound: float
+
+    def __post_init__(self) -> None:
+        if self.inbound < 0 or self.outbound < 0:
+            raise ValueError("rates must be non-negative")
+
+
+class BandwidthModel:
+    """Assigns and stores per-node bandwidth capacities.
+
+    Two assignment modes mirror the paper's evaluation environments:
+
+    * *heterogeneous* — inbound drawn uniformly from ``[min_rate, max_rate]``
+      and rescaled so the population mean equals ``mean_rate``;
+    * *homogeneous* — every node gets exactly ``mean_rate``.
+    """
+
+    def __init__(
+        self,
+        mean_rate: float = 15.0,
+        min_rate: float = 10.0,
+        max_rate: float = 33.0,
+        heterogeneous: bool = True,
+        source_outbound: float = 100.0,
+    ) -> None:
+        if not (0 < min_rate <= mean_rate <= max_rate):
+            raise ValueError(
+                f"need 0 < min_rate <= mean_rate <= max_rate, got "
+                f"{min_rate}, {mean_rate}, {max_rate}"
+            )
+        self.mean_rate = float(mean_rate)
+        self.min_rate = float(min_rate)
+        self.max_rate = float(max_rate)
+        self.heterogeneous = bool(heterogeneous)
+        self.source_outbound = float(source_outbound)
+        self._capacity: Dict[int, NodeBandwidth] = {}
+
+    # ---------------------------------------------------------------- assignment
+    def _draw_rates(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if not self.heterogeneous or count == 0:
+            return np.full(count, self.mean_rate)
+        rates = rng.uniform(self.min_rate, self.max_rate, size=count)
+        # Rescale towards the configured mean while staying inside the bounds,
+        # so "average inbound rate is 450 Kbps / I = 15" holds as in the paper.
+        current_mean = float(rates.mean())
+        if current_mean > 0:
+            rates = rates * (self.mean_rate / current_mean)
+        return np.clip(rates, self.min_rate, self.max_rate)
+
+    def assign(
+        self,
+        node_ids: Iterable[int],
+        rng: np.random.Generator,
+        source_id: Optional[int] = None,
+    ) -> None:
+        """Assign capacities to ``node_ids`` (overwriting existing entries).
+
+        The node identified by ``source_id`` gets zero inbound capacity and
+        ``source_outbound`` outbound capacity, as in the paper's setup.
+        """
+        ids = [int(n) for n in node_ids]
+        inbound = self._draw_rates(len(ids), rng)
+        outbound = self._draw_rates(len(ids), rng)
+        for node, i_rate, o_rate in zip(ids, inbound, outbound):
+            self._capacity[node] = NodeBandwidth(float(i_rate), float(o_rate))
+        if source_id is not None:
+            self._capacity[int(source_id)] = NodeBandwidth(0.0, self.source_outbound)
+
+    def assign_one(
+        self,
+        node_id: int,
+        rng: np.random.Generator,
+    ) -> NodeBandwidth:
+        """Assign capacity to a single (newly joined) node."""
+        inbound = float(self._draw_rates(1, rng)[0])
+        outbound = float(self._draw_rates(1, rng)[0])
+        capacity = NodeBandwidth(inbound, outbound)
+        self._capacity[int(node_id)] = capacity
+        return capacity
+
+    # ------------------------------------------------------------------ queries
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._capacity
+
+    def remove(self, node_id: int) -> None:
+        """Forget a departed node."""
+        self._capacity.pop(node_id, None)
+
+    def of(self, node_id: int) -> NodeBandwidth:
+        """Capacity of ``node_id``.
+
+        Raises:
+            KeyError: if the node has no assigned capacity.
+        """
+        return self._capacity[node_id]
+
+    def inbound(self, node_id: int) -> float:
+        """Inbound rate of ``node_id`` in segments/s."""
+        return self._capacity[node_id].inbound
+
+    def outbound(self, node_id: int) -> float:
+        """Outbound rate of ``node_id`` in segments/s."""
+        return self._capacity[node_id].outbound
+
+    def mean_inbound(self) -> float:
+        """Population mean inbound rate (segments/s)."""
+        if not self._capacity:
+            return 0.0
+        return float(np.mean([c.inbound for c in self._capacity.values()]))
+
+    @staticmethod
+    def kbps_to_segments_per_s(kbps: float, segment_bits: int = 30 * 1024) -> float:
+        """Convert a rate in Kbps to segments per second."""
+        return kbps * 1000.0 / segment_bits
+
+    @staticmethod
+    def segments_per_s_to_kbps(rate: float, segment_bits: int = 30 * 1024) -> float:
+        """Convert a rate in segments per second to Kbps."""
+        return rate * segment_bits / 1000.0

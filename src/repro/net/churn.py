@@ -1,0 +1,93 @@
+"""Churn process.
+
+The dynamic environment in the paper's evaluation removes 5% of the old
+nodes and adds 5% new nodes at every scheduling period.  The churn process
+here generalises that: configurable leave and join fractions per round, with
+the media source always protected from removal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """The membership changes decided for one round."""
+
+    round_index: int
+    leaving: tuple[int, ...]
+    joining: tuple[int, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.leaving and not self.joining
+
+
+@dataclass
+class ChurnProcess:
+    """Generates per-round join/leave decisions.
+
+    Attributes:
+        leave_fraction: fraction of current (non-protected) nodes leaving per
+            round (paper: 0.05 in the dynamic environment, 0.0 in static).
+        join_fraction: fraction (of the current population) of new nodes
+            joining per round.
+        protected: node ids that never leave (the media source).
+        next_node_id: id to assign to the next joining node.
+    """
+
+    leave_fraction: float = 0.0
+    join_fraction: float = 0.0
+    protected: Set[int] = field(default_factory=set)
+    next_node_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.leave_fraction < 1.0):
+            raise ValueError("leave_fraction must be in [0, 1)")
+        if self.join_fraction < 0.0:
+            raise ValueError("join_fraction must be >= 0")
+
+    @property
+    def is_static(self) -> bool:
+        """True when the process never changes membership."""
+        return self.leave_fraction == 0.0 and self.join_fraction == 0.0
+
+    def reserve_ids(self, existing_ids: Iterable[int]) -> None:
+        """Make sure newly assigned ids never collide with existing ones."""
+        existing = list(existing_ids)
+        if existing:
+            self.next_node_id = max(self.next_node_id, max(existing) + 1)
+
+    def step(
+        self,
+        round_index: int,
+        current_nodes: Sequence[int],
+        rng: np.random.Generator,
+    ) -> ChurnEvent:
+        """Decide which nodes leave and which join this round."""
+        if self.is_static or not current_nodes:
+            return ChurnEvent(round_index=round_index, leaving=(), joining=())
+
+        candidates = [n for n in current_nodes if n not in self.protected]
+        n_leave = int(round(self.leave_fraction * len(current_nodes)))
+        n_leave = min(n_leave, len(candidates))
+        leaving: List[int] = []
+        if n_leave > 0:
+            idx = rng.choice(len(candidates), size=n_leave, replace=False)
+            leaving = [candidates[int(i)] for i in idx]
+
+        n_join = int(round(self.join_fraction * len(current_nodes)))
+        joining: List[int] = []
+        for _ in range(n_join):
+            joining.append(self.next_node_id)
+            self.next_node_id += 1
+
+        return ChurnEvent(
+            round_index=round_index,
+            leaving=tuple(sorted(leaving)),
+            joining=tuple(joining),
+        )

@@ -1,0 +1,20 @@
+"""Discrete-event simulation engine used by every substrate.
+
+The engine is deliberately small: a binary-heap event queue keyed by
+``(time, sequence)`` plus helpers for deterministic, per-component random
+number streams.  The streaming system itself advances in *scheduling rounds*
+(period ``tau``) but message deliveries, DHT lookups and pre-fetches are
+scheduled as events with real latencies inside each round.
+"""
+
+from repro.sim.engine import Event, EventQueue, SimulationClock, Simulator
+from repro.sim.rng import RngStreams, spawn_generator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationClock",
+    "Simulator",
+    "RngStreams",
+    "spawn_generator",
+]

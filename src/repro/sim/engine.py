@@ -1,0 +1,222 @@
+"""Minimal discrete-event simulation core.
+
+The rest of the library only needs three things from the engine:
+
+* a monotonically increasing simulated clock,
+* an event queue ordered by ``(time, insertion sequence)`` so that ties are
+  broken deterministically, and
+* a simulator loop that pops events and invokes their callbacks until a time
+  horizon or event budget is exhausted.
+
+Events carry an arbitrary callback and payload; cancellation is supported by
+marking the event rather than removing it from the heap (lazy deletion),
+which keeps :meth:`EventQueue.push` and :meth:`EventQueue.pop` at
+``O(log n)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is driven incorrectly (e.g. time reversal)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``: events scheduled for the same instant run
+    in the order they were scheduled, which makes simulations reproducible.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[["Simulator", Any], None] = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class SimulationClock:
+    """Tracks the current simulated time in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is earlier than the current time.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {time}"
+            )
+        self._now = float(time)
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[["Simulator", Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback(sim, payload)`` at simulated ``time``."""
+        event = Event(time=float(time), seq=next(self._counter), callback=callback,
+                      payload=payload)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Return the next non-cancelled event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Lazily cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._live = max(0, self._live - 1)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def __iter__(self) -> Iterator[Event]:
+        return (e for e in sorted(self._heap) if not e.cancelled)
+
+
+class Simulator:
+    """Event loop tying a :class:`SimulationClock` to an :class:`EventQueue`.
+
+    Example:
+        >>> sim = Simulator()
+        >>> hits = []
+        >>> _ = sim.schedule_at(1.5, lambda s, p: hits.append((s.now, p)), "x")
+        >>> sim.run()
+        >>> hits
+        [(1.5, 'x')]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimulationClock(start_time)
+        self.queue = EventQueue()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["Simulator", Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule an event at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        return self.queue.push(time, callback, payload)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[["Simulator", Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule an event ``delay`` seconds from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.queue.push(self.now + delay, callback, payload)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self.queue.cancel(event)
+
+    def step(self) -> bool:
+        """Process the next event.  Returns ``False`` when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.callback(self, event.payload)
+        self.events_processed += 1
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        Returns:
+            The number of events processed by this call.
+        """
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            if not self.step():
+                break
+            processed += 1
+        if until is not None and self.now < until and self.queue.peek_time() is None:
+            self.clock.advance_to(until)
+        return processed

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.dht.ring import IdRing
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ring() -> IdRing:
+    """A small identifier ring shared by DHT tests."""
+    return IdRing(1024)
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """A very small but complete system configuration (fast to simulate)."""
+    return SystemConfig(
+        num_nodes=40,
+        rounds=12,
+        buffer_capacity=200,
+        scheduling_window=80,
+        playback_lag_segments=40,
+        seed=5,
+    )
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A slightly larger configuration for integration tests."""
+    return SystemConfig(num_nodes=80, rounds=20, seed=3)

@@ -1,0 +1,192 @@
+"""Tests for the experiment harness (at small scales)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.ablations import (
+    format_ablation,
+    run_prefetch_limit_ablation,
+    run_priority_ablation,
+    run_replica_ablation,
+)
+from repro.experiments.fig3_dht import format_fig3, run_fig3_dht
+from repro.experiments.fig5_6_track import format_track, run_continuity_track
+from repro.experiments.fig7_8_scale import format_scale_sweep, run_scale_sweep
+from repro.experiments.fig9_control import format_control_overhead, run_control_overhead
+from repro.experiments.fig10_11_prefetch import (
+    format_prefetch_scale,
+    run_prefetch_overhead_scale,
+    run_prefetch_overhead_track,
+)
+from repro.experiments.runner import build_parser, main
+from repro.experiments.table_theory import (
+    format_theory_table,
+    paper_reference_rows,
+    run_theory_table,
+    theoretical_rows,
+)
+
+
+SMALL = SystemConfig(
+    num_nodes=40, rounds=10, buffer_capacity=200, scheduling_window=80,
+    playback_lag_segments=40, seed=2,
+)
+
+
+class TestFig3:
+    def test_points_and_shape(self):
+        points = run_fig3_dht(node_counts=[100, 400], lookups_per_size=200, seed=1)
+        assert [p.num_nodes for p in points] == [100, 400]
+        for point in points:
+            assert point.success_rate > 0.85
+            assert 0 < point.average_hops < 15
+        # Hops grow with the population, matching the log2(n)/2 trend.
+        assert points[1].average_hops > points[0].average_hops
+
+    def test_formatting(self):
+        points = run_fig3_dht(node_counts=[50], lookups_per_size=50, seed=1)
+        text = format_fig3(points)
+        assert "avg hops" in text and "50" in text
+
+    def test_as_row(self):
+        point = run_fig3_dht(node_counts=[50], lookups_per_size=20, seed=1)[0]
+        row = point.as_row()
+        assert row["n"] == 50 and "success_rate" in row
+
+
+class TestTheoryTable:
+    def test_theoretical_rows_match_paper(self):
+        rows = theoretical_rows()
+        by_env = {row.environment: row for row in rows}
+        assert by_env["theory λ=15"].pc_old == pytest.approx(0.8815, abs=2e-3)
+        assert by_env["theory λ=14"].pc_new == pytest.approx(0.9975, abs=2e-3)
+
+    def test_simulated_rows_present(self):
+        rows = run_theory_table(SMALL, include_theory=False)
+        assert [row.environment for row in rows] == [
+            "homogeneous static",
+            "homogeneous dynamic",
+            "heterogeneous static",
+            "heterogeneous dynamic",
+        ]
+        for row in rows:
+            assert 0.0 <= row.pc_old <= 1.0
+            assert 0.0 <= row.pc_new <= 1.0
+
+    def test_formatting_and_reference(self):
+        text = format_theory_table(paper_reference_rows())
+        assert "heterogeneous dynamic" in text
+        assert "0.9537" in text
+
+
+class TestTracks:
+    def test_static_track(self):
+        results = run_continuity_track(num_nodes=40, rounds=10, seed=2,
+                                       base_config=SMALL)
+        assert set(results) == {"coolstreaming", "continustreaming"}
+        for result in results.values():
+            assert len(result.continuity) == 10
+            assert not result.dynamic
+
+    def test_dynamic_track_flag(self):
+        results = run_continuity_track(num_nodes=40, rounds=8, dynamic=True,
+                                       base_config=SMALL)
+        assert all(result.dynamic for result in results.values())
+
+    def test_formatting(self):
+        results = run_continuity_track(num_nodes=40, rounds=6, base_config=SMALL)
+        text = format_track(results)
+        assert "coolstreaming" in text and "track" in text
+
+
+class TestScaleSweeps:
+    def test_scale_sweep_points(self):
+        points = run_scale_sweep(sizes=[40, 60], rounds=10, base_config=SMALL)
+        assert [point.num_nodes for point in points] == [40, 60]
+        for point in points:
+            assert 0.0 <= point.coolstreaming <= 1.0
+            assert 0.0 <= point.continustreaming <= 1.0
+            assert point.delta == pytest.approx(
+                point.continustreaming - point.coolstreaming
+            )
+
+    def test_formatting(self):
+        points = run_scale_sweep(sizes=[40], rounds=8, base_config=SMALL)
+        assert "ContinuStreaming" in format_scale_sweep(points)
+
+
+class TestOverheadExperiments:
+    def test_control_overhead_points(self):
+        points = run_control_overhead(
+            sizes=[40], neighbor_counts=[4, 5], rounds=8, base_config=SMALL
+        )
+        assert len(points) == 2
+        for point in points:
+            assert point.control_overhead > 0
+            # The analytic estimate uses the configured buffer size: with the
+            # test config's 200-slot buffer a map costs 220 bits per neighbour.
+            expected = 220 * point.connected_neighbors / (30 * 1024 * 10)
+            assert point.analytic_estimate == pytest.approx(expected, rel=0.01)
+            # Measured overhead is the same order of magnitude as the estimate
+            # (it exceeds it when continuity is below 1.0, as the paper notes).
+            assert point.control_overhead < 20 * point.analytic_estimate
+        # More neighbours cost more control traffic.
+        assert points[1].control_overhead > points[0].control_overhead
+
+    def test_control_overhead_formatting(self):
+        points = run_control_overhead(sizes=[40], neighbor_counts=[5], rounds=6,
+                                      base_config=SMALL)
+        assert "control overhead" in format_control_overhead(points)
+
+    def test_prefetch_track(self):
+        tracks = run_prefetch_overhead_track(num_nodes=40, rounds=10, base_config=SMALL)
+        assert set(tracks) == {"static", "dynamic"}
+        for track in tracks.values():
+            assert len(track.overhead) == 10
+            assert track.stable_overhead >= 0.0
+
+    def test_prefetch_scale(self):
+        points = run_prefetch_overhead_scale(sizes=[40], rounds=8, base_config=SMALL)
+        assert len(points) == 2  # static + dynamic
+        assert {point.dynamic for point in points} == {False, True}
+        assert "pre-fetch overhead" in format_prefetch_scale(points)
+
+
+class TestAblations:
+    def test_priority_ablation_rows(self):
+        points = run_priority_ablation(SMALL)
+        assert len(points) == 3
+        assert points[0].name.startswith("coolstreaming")
+        assert all(0.0 <= p.stable_continuity <= 1.0 for p in points)
+
+    def test_replica_ablation(self):
+        points = run_replica_ablation(replica_counts=(1, 4), base_config=SMALL)
+        assert [point.name for point in points] == ["k=1", "k=4"]
+
+    def test_prefetch_limit_ablation(self):
+        points = run_prefetch_limit_ablation(limits=(0, 5), base_config=SMALL)
+        assert points[0].prefetch_overhead == 0.0
+
+    def test_formatting(self):
+        text = format_ablation(run_replica_ablation(replica_counts=(1,), base_config=SMALL))
+        assert "k=1" in text
+
+
+class TestRunnerCli:
+    def test_parser_accepts_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3", "--sizes", "50", "--lookups", "100"])
+        assert args.experiment == "fig3"
+        assert args.sizes == [50]
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figX"])
+
+    def test_main_runs_fig3(self, capsys):
+        exit_code = main(["fig3", "--sizes", "60", "--lookups", "100"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "fig3" in captured and "avg hops" in captured

@@ -1,0 +1,189 @@
+"""Tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Event, EventQueue, SimulationClock, SimulationError, Simulator
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulationClock(5.5).now == 5.5
+
+    def test_advances_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimulationClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_refuses_to_go_backwards(self):
+        clock = SimulationClock(4.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(3.0)
+
+
+class TestEventQueue:
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        queue.push(1.0, lambda s, p: None)
+        queue.push(2.0, lambda s, p: None)
+        assert len(queue) == 2
+
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda s, p: None, "late")
+        queue.push(1.0, lambda s, p: None, "early")
+        assert queue.pop().payload == "early"
+        assert queue.pop().payload == "late"
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda s, p: None, "first")
+        queue.push(1.0, lambda s, p: None, "second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda s, p: None, "cancelled")
+        queue.push(2.0, lambda s, p: None, "kept")
+        queue.cancel(event)
+        assert len(queue) == 1
+        assert queue.pop().payload == "kept"
+
+    def test_peek_time_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda s, p: None)
+        queue.push(5.0, lambda s, p: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear_empties_the_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda s, p: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda s, p: None)
+        assert queue
+
+    def test_iteration_yields_sorted_live_events(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda s, p: None, "c")
+        queue.push(1.0, lambda s, p: None, "a")
+        cancelled = queue.push(2.0, lambda s, p: None, "b")
+        queue.cancel(cancelled)
+        assert [event.payload for event in queue] == ["a", "c"]
+
+
+class TestSimulator:
+    def test_runs_single_event(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(1.5, lambda s, p: hits.append((s.now, p)), "x")
+        sim.run()
+        assert hits == [(1.5, "x")]
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator(start_time=10.0)
+        times = []
+        sim.schedule_in(2.5, lambda s, p: times.append(s.now))
+        sim.run()
+        assert times == [12.5]
+
+    def test_schedule_in_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda s, p: None)
+
+    def test_schedule_at_past_time_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda s, p: None)
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(3.0, lambda s, p: order.append("late"))
+        sim.schedule_at(1.0, lambda s, p: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(1.0, lambda s, p: hits.append(1))
+        sim.schedule_at(10.0, lambda s, p: hits.append(10))
+        sim.run(until=5.0)
+        assert hits == [1]
+        assert sim.now == 5.0
+        assert len(sim.queue) == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_run_max_events_limits_processing(self):
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda s, p: hits.append(s.now))
+        processed = sim.run(max_events=2)
+        assert processed == 2
+        assert hits == [1.0, 2.0]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(s: Simulator, payload: int) -> None:
+            hits.append(payload)
+            if payload < 3:
+                s.schedule_in(1.0, chain, payload + 1)
+
+        sim.schedule_at(0.0, chain, 1)
+        sim.run()
+        assert hits == [1, 2, 3]
+        assert sim.now == 2.0
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule_at(1.0, lambda s, p: hits.append("should not run"))
+        sim.cancel(event)
+        sim.run()
+        assert hits == []
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.schedule_at(t, lambda s, p: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_event_ordering_dataclass(self):
+        early = Event(time=1.0, seq=0, callback=lambda s, p: None)
+        late = Event(time=2.0, seq=1, callback=lambda s, p: None)
+        assert early < late
