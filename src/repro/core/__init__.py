@@ -15,14 +15,30 @@
 * :mod:`repro.core.rate_controller` — per-neighbour receive-rate estimation.
 * :mod:`repro.core.node` / :mod:`repro.core.baseline` /
   :mod:`repro.core.continu` — node state machines.
-* :mod:`repro.core.system` — the round-driven simulator tying everything to
-  the substrates, producing the metrics the paper reports.
+* :mod:`repro.core.phases` — the pluggable round pipeline: one
+  :class:`~repro.core.phases.base.Phase` per step of the scheduling period,
+  the shared :class:`~repro.core.phases.base.RoundContext`, and the
+  :class:`~repro.core.phases.registry.ProtocolRegistry` that maps protocol
+  names to node factories and default pipelines.
+* :mod:`repro.core.overlay` — overlay construction and maintenance
+  (topology, partnerships, DHT fingers, churn-time admission/removal).
+* :mod:`repro.core.system` — the thin facade tying protocol, overlay and
+  the discrete-event engine together, producing the metrics the paper
+  reports.
 """
 
 from repro.core.baseline import CoolStreamingNode
 from repro.core.config import SystemConfig
 from repro.core.continu import ContinuStreamingNode
 from repro.core.node import StreamingNode
+from repro.core.overlay import OverlayManager
+from repro.core.phases import (
+    Phase,
+    PhaseReport,
+    ProtocolRegistry,
+    RoundContext,
+    StreamingProtocol,
+)
 from repro.core.system import SimulationResult, StreamingSystem
 
 __all__ = [
@@ -32,4 +48,10 @@ __all__ = [
     "ContinuStreamingNode",
     "StreamingSystem",
     "SimulationResult",
+    "OverlayManager",
+    "Phase",
+    "PhaseReport",
+    "RoundContext",
+    "StreamingProtocol",
+    "ProtocolRegistry",
 ]

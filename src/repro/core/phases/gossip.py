@@ -1,0 +1,37 @@
+"""Phase 2 — buffer-map gossip: start-of-period snapshots and budgets."""
+
+from __future__ import annotations
+
+from repro.core.phases.base import Phase, PhaseReport, RoundContext
+
+
+class BufferMapGossipPhase(Phase):
+    """Freeze the start-of-period state every other phase works from.
+
+    * census: which nodes are alive this round, and which of them are
+      consumers (everyone but the source);
+    * per-round node bookkeeping (``begin_round``);
+    * one buffer-map snapshot per alive node — the gossip of Section 4.2.
+      Snapshots, not live buffers, are what the data scheduler sees, so a
+      segment delivered mid-round only becomes visible next round, exactly
+      like a real buffer-map exchange;
+    * per-period inbound/outbound bandwidth budgets (``rate · τ``) that the
+      scheduling and on-demand phases spend from.
+    """
+
+    name = "buffer-map-gossip"
+
+    def execute(self, ctx: RoundContext) -> PhaseReport:
+        alive = sorted(nid for nid, node in ctx.nodes.items() if node.alive)
+        ctx.alive_ids = alive
+        ctx.consumers = [nid for nid in alive if nid != ctx.source_id]
+        for nid in alive:
+            ctx.nodes[nid].begin_round()
+        ctx.snapshots = {nid: ctx.nodes[nid].buffer_map() for nid in alive}
+        ctx.inbound_budget = {
+            nid: ctx.nodes[nid].inbound_rate * ctx.period for nid in alive
+        }
+        ctx.outbound_budget = {
+            nid: ctx.nodes[nid].outbound_rate * ctx.period for nid in alive
+        }
+        return self.report(nodes_alive=len(alive), consumers=len(ctx.consumers))

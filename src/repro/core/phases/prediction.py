@@ -1,0 +1,35 @@
+"""Phase 3 — Urgent-Line prediction (ContinuStreaming only)."""
+
+from __future__ import annotations
+
+from repro.core.continu import ContinuStreamingNode
+from repro.core.phases.base import Phase, PhaseReport, RoundContext
+
+
+class UrgentLinePredictionPhase(Phase):
+    """Predict which urgent segments gossip is about to miss (eq. (4), (8)).
+
+    Runs on the start-of-period state — *before* the data scheduler — which
+    is what lets the on-demand retrieval proceed in parallel with gossip and
+    makes the paper's "repeated data" outcome possible: a predicted-missed
+    segment may still arrive through the scheduler while its DHT lookup is
+    in flight.
+    """
+
+    name = "urgent-line-prediction"
+
+    def execute(self, ctx: RoundContext) -> PhaseReport:
+        triggers = 0
+        for nid in ctx.consumers:
+            node = ctx.nodes[nid]
+            if not isinstance(node, ContinuStreamingNode):
+                continue
+            prediction = node.predict_missed(ctx.newest_segment_id)
+            if prediction.triggered:
+                ctx.predictions[nid] = list(prediction.missed_segment_ids)
+                triggers += 1
+        ctx.prefetch_triggers = triggers
+        return self.report(
+            triggers=triggers,
+            segments_predicted=sum(len(v) for v in ctx.predictions.values()),
+        )

@@ -1,24 +1,26 @@
-"""The round-driven streaming system.
+"""The streaming-system facade: construction, clocking, results.
 
-:class:`StreamingSystem` builds a complete overlay from a
-:class:`~repro.core.config.SystemConfig` — synthetic trace topology, latency
-and bandwidth models, Rendezvous Point, DHT peer tables — populates it with
-either ContinuStreaming or CoolStreaming nodes, and advances the simulation
-one scheduling period at a time:
+:class:`StreamingSystem` is a thin coordinator.  The heavy lifting lives in
+three places it composes:
 
-1. the source generates this period's segments;
-2. every node snapshots its buffer map (control-traffic cost accounted);
-3. ContinuStreaming nodes run the Urgent-Line prediction on the
-   start-of-period state (the on-demand retrieval runs *in parallel* with the
-   data scheduler, which is what makes "repeated data" possible);
-4. the data scheduler of every node plans its requests (Algorithm 1) and the
-   transfers execute against per-period inbound/outbound budgets;
-5. triggered nodes run the on-demand retrieval (Algorithm 2) over the DHT,
-   the located segments are downloaded from their backup holders, and ``α``
-   adapts from the overdue/repeated outcomes;
-6. every node plays one period of media and the playback-continuity sample is
-   recorded;
-7. churn removes and adds nodes (dynamic environments only).
+* the :class:`~repro.core.phases.registry.ProtocolRegistry` resolves the
+  ``system`` name (``"continustreaming"``, ``"coolstreaming"``, or any
+  registered third variant) to a protocol that knows how to build nodes and
+  which :class:`~repro.core.phases.base.Phase` pipeline its rounds run;
+* the :class:`~repro.core.overlay.OverlayManager` builds and maintains the
+  overlay — trace topology, latency/bandwidth models, Rendezvous Point,
+  partnerships, DHT fingers, churn-time admission/removal and repair;
+* the discrete-event :class:`~repro.sim.engine.Simulator` is the single
+  clock authority: every round is an event, start-of-period phases fire at
+  ``round_start``, end-of-period phases (playback, churn) fire when the
+  period elapses, and phases may schedule intra-round follow-up events such
+  as delayed DHT fetch completions.
+
+Each scheduling period, the facade builds one
+:class:`~repro.core.phases.base.RoundContext`, threads it through the
+pipeline, and turns the context's counters into a :class:`RoundReport`.
+Custom pipelines (ablations, metric taps) plug in via the ``pipeline=``
+argument without touching this module; see ``docs/architecture.md``.
 
 All randomness flows from the config seed through named
 :class:`~repro.sim.rng.RngStreams`, so a ContinuStreaming run and a
@@ -29,34 +31,22 @@ assignment and churn schedule — the comparison isolates the protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.core.baseline import CoolStreamingNode
 from repro.core.config import SystemConfig
-from repro.core.continu import ContinuStreamingNode
 from repro.core.node import StreamingNode
-from repro.core.ondemand import OnDemandRetriever, PrefetchPlan
-from repro.dht.peer_table import NeighborEntry
-from repro.dht.ring import IdRing
-from repro.dht.routing import GreedyRouter
-from repro.membership.overhearing import OverhearingService
-from repro.membership.rendezvous import RendezvousPoint
-from repro.net.bandwidth import BandwidthModel
-from repro.net.churn import ChurnProcess
-from repro.net.latency import LatencyModel
-from repro.net.message import (
-    MessageKind,
-    MessageLedger,
-    RoundTrafficLog,
+from repro.core.overlay import OverlayManager
+from repro.core.phases import (
+    END,
+    START,
+    Phase,
+    ProtocolRegistry,
+    RoundContext,
 )
-from repro.net.topology import OverlayTopology
-from repro.net.trace import TraceTopologyGenerator, build_streaming_overlay
+from repro.net.message import MessageLedger, RoundTrafficLog
+from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
-from repro.streaming.buffermap import BufferMap, buffer_map_bits
 from repro.streaming.playback import ContinuityTracker
-from repro.streaming.segment import Segment
 from repro.streaming.source import MediaSource
 
 
@@ -81,7 +71,7 @@ class SimulationResult:
     """Everything a run produces.
 
     Attributes:
-        system: ``"continustreaming"`` or ``"coolstreaming"``.
+        system: the protocol name the run used (e.g. ``"continustreaming"``).
         config: the configuration that produced the run.
         tracker: per-round playback-continuity series.
         traffic: per-round traffic ledgers (control / data / pre-fetch bits).
@@ -125,308 +115,143 @@ class StreamingSystem:
 
     Args:
         config: the run configuration.
-        system: ``"continustreaming"`` (default) or ``"coolstreaming"``.
+        system: a protocol name known to the
+            :class:`~repro.core.phases.registry.ProtocolRegistry`
+            (``"continustreaming"`` by default).
+        pipeline: optional phase sequence replacing the protocol's default —
+            the hook experiments use to insert taps or ablate phases.
     """
 
+    #: The paper's two systems (kept for backwards compatibility; the
+    #: authoritative list is ``ProtocolRegistry.names()``).
     SYSTEMS = ("continustreaming", "coolstreaming")
 
-    def __init__(self, config: SystemConfig, system: str = "continustreaming") -> None:
-        if system not in self.SYSTEMS:
-            raise ValueError(f"unknown system {system!r}; expected one of {self.SYSTEMS}")
+    def __init__(
+        self,
+        config: SystemConfig,
+        system: str = "continustreaming",
+        pipeline: Optional[Sequence[Phase]] = None,
+    ) -> None:
         self.config = config
         self.system = system
+        self.protocol = ProtocolRegistry.get(system)
         self.streams = RngStreams(seed=config.seed)
-        self.ring = IdRing(config.effective_id_space)
-        self.nodes: Dict[int, StreamingNode] = {}
-        self.overlay = OverlayTopology()
-        self.source_id: Optional[int] = None
         self.source = MediaSource(
             playback_rate=config.playback_rate, segment_bits=config.segment_bits
         )
-        self.rendezvous = RendezvousPoint(ring=self.ring)
-        self.rendezvous.seed_rng(self.streams.get("rendezvous"))
-        self.bandwidth = BandwidthModel(
-            mean_rate=config.mean_inbound,
-            min_rate=config.min_inbound,
-            max_rate=config.max_inbound,
-            heterogeneous=config.heterogeneous,
-            source_outbound=config.source_outbound,
+        self.manager = OverlayManager(config=config, streams=self.streams)
+        self.manager.node_factory = (
+            lambda ring_id: self.protocol.make_node(self.manager, ring_id)
         )
-        self.latency: Optional[LatencyModel] = None
-        self.churn = ChurnProcess(
-            leave_fraction=config.leave_fraction,
-            join_fraction=config.join_fraction,
+        self.pipeline: Tuple[Phase, ...] = tuple(
+            pipeline if pipeline is not None else self.protocol.build_pipeline()
         )
+        for phase in self.pipeline:
+            if phase.timing not in (START, END):
+                raise ValueError(
+                    f"phase {phase.name!r} has invalid timing {phase.timing!r}; "
+                    f"expected {START!r} or {END!r}"
+                )
+        self.sim = Simulator()
         self.tracker = ContinuityTracker(round_duration=config.scheduling_period)
         self.traffic = RoundTrafficLog()
         self.ledger = MessageLedger()
         self.reports: List[RoundReport] = []
-        self.now = 0.0
         self.round_index = 0
-        self.hop_latency_s = 0.05
-        self.fetch_time_s = 0.4
-        self.router = GreedyRouter(self.ring, self._routing_peers_of)
-        self.overhearing = OverhearingService(
-            latency_of=self._latency_ms, is_alive=self._is_alive
-        )
-        self._built = False
 
     # ======================================================================= build
     def build(self) -> "StreamingSystem":
         """Construct the overlay, models and nodes.  Idempotent."""
-        if self._built:
-            return self
-        cfg = self.config
-        trace_gen = TraceTopologyGenerator(seed=cfg.seed)
-        trace = trace_gen.generate(cfg.num_nodes)
-
-        # Ring ids come from the Rendezvous Point; trace index i -> ring id.
-        ring_ids: List[int] = []
-        for _ in range(cfg.num_nodes):
-            ticket = self.rendezvous.admit()
-            ring_ids.append(ticket.node_id)
-        index_to_ring = {i: ring_ids[i] for i in range(cfg.num_nodes)}
-
-        # Latency model keyed by ring id, ping times from the trace records.
-        self.latency = LatencyModel(
-            {index_to_ring[rec.node_id]: rec.ping_ms for rec in trace.records}
-        )
-        self.hop_latency_s = (
-            cfg.hop_latency_ms / 1000.0
-            if cfg.hop_latency_ms is not None
-            else self.latency.mean_hop_latency_ms(
-                sample_pairs=min(2000, cfg.num_nodes * 4),
-                rng=self.streams.get("latency-estimate"),
-            )
-            / 1000.0
-        )
-        self.fetch_time_s = cfg.expected_fetch_time(self.hop_latency_s)
-
-        # Streaming overlay: crawl graph densified to M neighbours, re-keyed
-        # onto ring ids.
-        dense = build_streaming_overlay(
-            trace, cfg.connected_neighbors, self.streams.get("topology")
-        )
-        self.overlay = OverlayTopology(ring_ids)
-        for a, b in dense.edges():
-            self.overlay.add_edge(index_to_ring[a], index_to_ring[b])
-
-        # The source is the node with the lowest ping time (closest to the
-        # crawler / best connected), as good a stand-in as any.
-        source_index = min(trace.records, key=lambda r: r.ping_ms).node_id
-        self.source_id = index_to_ring[source_index]
-        self.churn.protected.add(self.source_id)
-        self.churn.reserve_ids(range(cfg.num_nodes))
-
-        # Bandwidth assignment (paired across systems via the shared stream).
-        self.bandwidth.assign(
-            ring_ids, self.streams.get("bandwidth"), source_id=self.source_id
-        )
-
-        # Node objects.
-        for ring_id in ring_ids:
-            self.nodes[ring_id] = self._make_node(ring_id)
-
-        # Connected neighbours: symmetric partnerships (buffer-map exchange is
-        # mutual), ~M partners each, preferring low-latency overlay edges.
-        self._install_partnerships()
-
-        # DHT peer tables: loosely organised fingers over the joined ids.
-        self._build_all_fingers()
-        self._built = True
+        self.manager.build()
         return self
 
-    def _make_node(self, ring_id: int) -> StreamingNode:
-        cfg = self.config
-        capacity = self.bandwidth.of(ring_id)
-        is_source = ring_id == self.source_id
-        if self.system == "continustreaming":
-            node: StreamingNode = ContinuStreamingNode(
-                ring_id,
-                self.ring,
-                buffer_capacity=cfg.buffer_capacity,
-                playback_rate=cfg.playback_rate,
-                period=cfg.scheduling_period,
-                inbound_rate=capacity.inbound,
-                outbound_rate=capacity.outbound,
-                backup_replicas=cfg.backup_replicas,
-                prefetch_limit=cfg.prefetch_limit,
-                hop_latency=self.hop_latency_s,
-                fetch_time=self.fetch_time_s,
-                max_neighbors=cfg.connected_neighbors,
-                overheard_capacity=cfg.overheard_capacity,
-                playback_lag=cfg.playback_lag_segments,
-                stall_on_miss=cfg.stall_on_miss,
-                is_source=is_source,
-            )
-        else:
-            node = CoolStreamingNode(
-                ring_id,
-                self.ring,
-                buffer_capacity=cfg.buffer_capacity,
-                playback_rate=cfg.playback_rate,
-                period=cfg.scheduling_period,
-                inbound_rate=capacity.inbound,
-                outbound_rate=capacity.outbound,
-                max_neighbors=cfg.connected_neighbors,
-                overheard_capacity=cfg.overheard_capacity,
-                playback_lag=cfg.playback_lag_segments,
-                stall_on_miss=cfg.stall_on_miss,
-                is_source=is_source,
-            )
-        node.join_time = self.now
-        return node
+    # ===================================================== facade / compatibility
+    @property
+    def now(self) -> float:
+        """Current simulated time (the event engine is the clock authority)."""
+        return self.sim.now
 
-    def _install_partnerships(self) -> None:
-        """Build the connected-neighbour (partner) relation, symmetrically.
+    @property
+    def nodes(self) -> Dict[int, StreamingNode]:
+        """All node objects, alive and departed, keyed by ring id."""
+        return self.manager.nodes
 
-        The buffer-map exchange of Section 4.2 is mutual, so partnerships are
-        undirected: every overlay edge ``(a, b)`` becomes a partnership when
-        both endpoints still have a free slot, walking the edges in order of
-        increasing latency (the paper replaces neighbours by low-latency
-        overheard nodes, so low-latency edges are preferred).  A second pass
-        tops up nodes that are still short of ``M`` partners with random
-        partners, tolerating a slight overshoot on the other endpoint so that
-        nobody is left isolated.
-        """
-        assert self.latency is not None
-        edges = sorted(
-            self.overlay.edges(),
-            key=lambda edge: self._latency_ms(edge[0], edge[1]),
-        )
-        for a, b in edges:
-            self._try_partner(a, b, allow_overflow=False)
-        rng = self.streams.get("partners")
-        all_ids = sorted(self.nodes)
-        for nid in all_ids:
-            node = self.nodes[nid]
-            attempts = 0
-            while node.peer_table.neighbor_slots_free() > 0 and attempts < 50:
-                attempts += 1
-                other = int(all_ids[int(rng.integers(len(all_ids)))])
-                if other == nid or node.peer_table.has_neighbor(other):
-                    continue
-                self._try_partner(nid, other, allow_overflow=True)
+    @property
+    def source_id(self) -> Optional[int]:
+        """Ring id of the media source (``None`` before :meth:`build`)."""
+        return self.manager.source_id
 
-    def _try_partner(self, a: int, b: int, allow_overflow: bool) -> bool:
-        """Create the symmetric partnership ``a <-> b`` if slots permit."""
-        node_a, node_b = self.nodes.get(a), self.nodes.get(b)
-        if node_a is None or node_b is None or a == b:
-            return False
-        if node_a.peer_table.has_neighbor(b) or node_b.peer_table.has_neighbor(a):
-            return False
-        if node_a.peer_table.neighbor_slots_free() == 0:
-            return False
-        if node_b.peer_table.neighbor_slots_free() == 0 and not allow_overflow:
-            return False
-        latency = self._latency_ms(a, b)
-        added_a = node_a.peer_table.add_neighbor(
-            NeighborEntry(peer_id=b, latency_ms=latency)
-        )
-        if not added_a:
-            return False
-        if not node_b.peer_table.add_neighbor(
-            NeighborEntry(peer_id=a, latency_ms=latency)
-        ):
-            # Overflow path: force the reciprocal entry so the relation stays
-            # symmetric even when b is already at capacity.
-            node_b.peer_table.neighbors[a] = NeighborEntry(peer_id=a, latency_ms=latency)
-        self.overlay.add_edge(a, b)
-        # Optimistic rate priors: a TCP pull takes whatever the supplier's
-        # uplink has to spare; contention is enforced by the per-period
-        # outbound budgets rather than pre-divided here.
-        node_a.rate_controller.register_neighbor(b, node_b.outbound_rate, 1)
-        node_b.rate_controller.register_neighbor(a, node_a.outbound_rate, 1)
-        return True
+    @property
+    def ring(self):
+        """The DHT identifier ring."""
+        return self.manager.ring
 
-    def _ensure_reciprocal(self, a: int, b: int) -> None:
-        """Make sure the partnership ``a -> b`` also exists as ``b -> a``."""
-        node_a, node_b = self.nodes.get(a), self.nodes.get(b)
-        if node_a is None or node_b is None or a == b:
-            return
-        latency = self._latency_ms(a, b)
-        if not node_b.peer_table.has_neighbor(a):
-            entry = NeighborEntry(peer_id=a, latency_ms=latency)
-            if not node_b.peer_table.add_neighbor(entry):
-                node_b.peer_table.neighbors[a] = entry
-            node_b.rate_controller.register_neighbor(a, node_a.outbound_rate, 1)
-        if not node_a.peer_table.has_neighbor(b):
-            entry = NeighborEntry(peer_id=b, latency_ms=latency)
-            if not node_a.peer_table.add_neighbor(entry):
-                node_a.peer_table.neighbors[b] = entry
-            node_a.rate_controller.register_neighbor(b, node_b.outbound_rate, 1)
-        self.overlay.add_edge(a, b)
+    @property
+    def overlay(self):
+        """The overlay topology graph."""
+        return self.manager.overlay
 
-    def _build_all_fingers(self) -> None:
-        """Fill every node's DHT peers with random nodes from each level interval."""
-        ids = np.asarray(sorted(self.nodes), dtype=np.int64)
-        rng = self.streams.get("dht-fingers")
-        for node in self.nodes.values():
-            self._fill_fingers_for(node, ids, rng)
+    @property
+    def latency(self):
+        """The latency model (``None`` before :meth:`build`)."""
+        return self.manager.latency
 
-    def _fill_fingers_for(
-        self, node: StreamingNode, sorted_ids: np.ndarray, rng: np.random.Generator
-    ) -> None:
-        owner = node.node_id
-        for level in range(1, self.ring.bits + 1):
-            start, end = self.ring.level_interval(owner, level)
-            candidates = self._ids_in_interval(sorted_ids, start, end)
-            if candidates.size == 0:
-                continue
-            peer = int(candidates[int(rng.integers(candidates.size))])
-            if peer != owner:
-                node.peer_table.set_dht_peer(peer, self._latency_ms(owner, peer))
+    @property
+    def bandwidth(self):
+        """The bandwidth model."""
+        return self.manager.bandwidth
 
-    @staticmethod
-    def _ids_in_interval(sorted_ids: np.ndarray, start: int, end: int) -> np.ndarray:
-        if sorted_ids.size == 0 or start == end:
-            return np.empty(0, dtype=np.int64)
-        if start < end:
-            lo = np.searchsorted(sorted_ids, start, side="left")
-            hi = np.searchsorted(sorted_ids, end, side="left")
-            return sorted_ids[lo:hi]
-        lo = np.searchsorted(sorted_ids, start, side="left")
-        hi = np.searchsorted(sorted_ids, end, side="left")
-        return np.concatenate([sorted_ids[lo:], sorted_ids[:hi]])
+    @property
+    def churn(self):
+        """The churn process."""
+        return self.manager.churn
 
-    # ================================================================ small helpers
-    def _latency_ms(self, a: int, b: int) -> float:
-        if self.latency is None or a not in self.latency or b not in self.latency:
-            return 50.0
-        return self.latency.one_way_ms(a, b)
+    @property
+    def rendezvous(self):
+        """The Rendezvous Point."""
+        return self.manager.rendezvous
 
-    def _is_alive(self, node_id: int) -> bool:
-        node = self.nodes.get(node_id)
-        return node is not None and node.alive
+    @property
+    def overhearing(self):
+        """The overhearing-based peer-table maintenance service."""
+        return self.manager.overhearing
 
-    def _routing_peers_of(self, node_id: int) -> Sequence[int]:
-        node = self.nodes.get(node_id)
-        if node is None or not node.alive:
-            return ()
-        return [
-            peer
-            for peer in node.peer_table.routing_candidates()
-            if self._is_alive(peer)
-        ]
+    @property
+    def router(self):
+        """The greedy DHT router."""
+        return self.manager.router
+
+    @property
+    def hop_latency_s(self) -> float:
+        """Mean one-hop latency ``t_hop`` in seconds."""
+        return self.manager.hop_latency_s
+
+    @property
+    def fetch_time_s(self) -> float:
+        """Expected DHT fetch time ``t_fetch`` in seconds (eq. (7))."""
+        return self.manager.fetch_time_s
 
     def alive_node_ids(self, include_source: bool = True) -> List[int]:
         """Ids of the currently alive nodes."""
-        ids = [nid for nid, node in self.nodes.items() if node.alive]
-        if not include_source and self.source_id is not None:
-            ids = [nid for nid in ids if nid != self.source_id]
-        return sorted(ids)
+        return self.manager.alive_node_ids(include_source=include_source)
 
     def node(self, node_id: int) -> StreamingNode:
         """Access a node by ring id."""
-        return self.nodes[node_id]
+        return self.manager.nodes[node_id]
 
     # ===================================================================== rounds
     def run(self, rounds: Optional[int] = None) -> SimulationResult:
-        """Run the simulation for ``rounds`` periods (default: config.rounds)."""
+        """Run the simulation for ``rounds`` periods (default: config.rounds).
+
+        Every round is an event on the discrete-event engine: the commit
+        event of round *i* schedules round *i + 1*, so a single
+        ``Simulator.run()`` drains the whole simulation.
+        """
         self.build()
         total = self.config.rounds if rounds is None else rounds
-        for _ in range(total):
-            self.step_round()
+        if total > 0:
+            self._schedule_round(self.sim.now, remaining=total)
+            self.sim.run()
         return SimulationResult(
             system=self.system,
             config=self.config,
@@ -436,413 +261,69 @@ class StreamingSystem:
         )
 
     def step_round(self) -> RoundReport:
-        """Advance the simulation by one scheduling period."""
+        """Advance the simulation by exactly one scheduling period."""
         self.build()
-        cfg = self.config
-        tau = cfg.scheduling_period
-        round_start = self.now
-        round_ledger = MessageLedger()
-        rng = self.streams.get("round")
+        self._schedule_round(self.sim.now, remaining=1)
+        self.sim.run()
+        return self.reports[-1]
 
-        # 1. The source generates this period's segments and buffers them.
-        for segment in self.source.generate_until(round_start + tau):
-            source_node = self.nodes[self.source_id]  # type: ignore[index]
-            source_node.buffer.add(segment.segment_id)
-        newest_id = self.source.newest_segment_id
+    # ------------------------------------------------------------- event plumbing
+    def _schedule_round(self, round_start: float, remaining: int) -> None:
+        ctx = self._new_round_context(round_start)
+        self.sim.schedule_at(round_start, self._round_begin, (ctx, remaining))
 
-        alive_ids = self.alive_node_ids()
-        consumers = [nid for nid in alive_ids if nid != self.source_id]
-        for nid in alive_ids:
-            self.nodes[nid].begin_round()
-
-        # 2. Buffer-map snapshots (start-of-period state).
-        snapshots: Dict[int, BufferMap] = {
-            nid: self.nodes[nid].buffer_map() for nid in alive_ids
-        }
-
-        # 3. Urgent-line predictions on the start-of-period state.
-        predictions: Dict[int, List[int]] = {}
-        prefetch_triggers = 0
-        if self.system == "continustreaming":
-            for nid in consumers:
-                node = self.nodes[nid]
-                assert isinstance(node, ContinuStreamingNode)
-                prediction = node.predict_missed(newest_id)
-                if prediction.triggered:
-                    predictions[nid] = list(prediction.missed_segment_ids)
-                    prefetch_triggers += 1
-
-        # 4. Per-period bandwidth budgets.
-        inbound_budget = {
-            nid: self.nodes[nid].inbound_rate * tau for nid in alive_ids
-        }
-        outbound_budget = {
-            nid: self.nodes[nid].outbound_rate * tau for nid in alive_ids
-        }
-
-        # 5. Data scheduling and transfers.
-        segments_scheduled = self._scheduling_phase(
-            consumers, snapshots, newest_id, inbound_budget, outbound_budget,
-            round_ledger, rng,
-        )
-
-        # 6. On-demand retrieval (ContinuStreaming only).
-        segments_prefetched = 0
-        if predictions:
-            segments_prefetched = self._prefetch_phase(
-                predictions, inbound_budget, outbound_budget, round_ledger, rng,
-                round_start,
-            )
-
-        # 7. Playback.
-        playing = 0
-        for nid in consumers:
-            node = self.nodes[nid]
-            if not node.playback.started:
-                # Every node starts playback `playback_lag` behind the live
-                # edge, which is exactly "following its neighbours' current
-                # steps" since every neighbour maintains the same lag.
-                node.maybe_start_playback(
-                    cfg.startup_segments, newest_available_id=newest_id
-                )
-            if node.playback.started and node.can_play_round():
-                playing += 1
-            node.play_round(newest_available_id=newest_id)
-        continuity = self.tracker.record_round(
-            round_start + tau, playing, len(consumers)
-        )
-
-        # 8. Membership maintenance + churn.
-        joined, left = self._churn_phase(rng, round_ledger)
-        self._repair_neighbors()
-
-        # 9. Bookkeeping.
-        self.traffic.append(round_start + tau, round_ledger)
-        self.ledger.merge(round_ledger)
-        self.now = round_start + tau
-        report = RoundReport(
+    def _new_round_context(self, round_start: float) -> RoundContext:
+        assert self.manager.source_id is not None, "build() must run first"
+        return RoundContext(
+            config=self.config,
+            protocol=self.system,
             round_index=self.round_index,
-            time=self.now,
-            continuity=continuity,
-            nodes_playing=playing,
-            nodes_total=len(consumers),
-            segments_scheduled=segments_scheduled,
-            segments_prefetched=segments_prefetched,
-            prefetch_triggers=prefetch_triggers,
-            nodes_joined=joined,
-            nodes_left=left,
+            round_start=round_start,
+            period=self.config.scheduling_period,
+            rng=self.streams.get("round"),
+            ledger=MessageLedger(),
+            nodes=self.manager.nodes,
+            source=self.source,
+            source_id=self.manager.source_id,
+            sim=self.sim,
+            tracker=self.tracker,
+            manager=self.manager,
+        )
+
+    def _round_begin(self, sim: Simulator, payload: Any) -> None:
+        """Start-of-period event: run the ``start`` phases, arm the commit."""
+        ctx, remaining = payload
+        for phase in self.pipeline:
+            if phase.timing != END:
+                ctx.phase_reports.append(phase.execute(ctx))
+        # Scheduled after the start phases so intra-round follow-up events
+        # (e.g. DHT fetches landing exactly at period end) run first.
+        sim.schedule_at(ctx.round_end, self._round_commit, (ctx, remaining))
+
+    def _round_commit(self, sim: Simulator, payload: Any) -> None:
+        """End-of-period event: ``end`` phases, bookkeeping, next round."""
+        ctx, remaining = payload
+        for phase in self.pipeline:
+            if phase.timing == END:
+                ctx.phase_reports.append(phase.execute(ctx))
+        self.traffic.append(ctx.round_end, ctx.ledger)
+        self.ledger.merge(ctx.ledger)
+        report = RoundReport(
+            round_index=ctx.round_index,
+            time=ctx.round_end,
+            continuity=ctx.continuity,
+            nodes_playing=ctx.nodes_playing,
+            nodes_total=len(ctx.consumers),
+            segments_scheduled=ctx.segments_scheduled,
+            segments_prefetched=ctx.segments_prefetched,
+            prefetch_triggers=ctx.prefetch_triggers,
+            nodes_joined=ctx.nodes_joined,
+            nodes_left=ctx.nodes_left,
         )
         self.reports.append(report)
         self.round_index += 1
-        return report
-
-    # -------------------------------------------------------------- round phases
-    def _scheduling_phase(
-        self,
-        consumers: Sequence[int],
-        snapshots: Mapping[int, BufferMap],
-        newest_id: int,
-        inbound_budget: Dict[int, float],
-        outbound_budget: Dict[int, float],
-        ledger: MessageLedger,
-        rng: np.random.Generator,
-    ) -> int:
-        cfg = self.config
-        map_bits = buffer_map_bits(cfg.buffer_capacity)
-        delivered_total = 0
-        order = list(consumers)
-        rng.shuffle(order)
-        for nid in order:
-            node = self.nodes[nid]
-            neighbor_maps = {
-                nbr: snapshots[nbr] for nbr in node.neighbors if nbr in snapshots
-            }
-            # Control traffic: fetching the buffer map of each neighbour.
-            if neighbor_maps:
-                ledger.record(
-                    MessageKind.BUFFER_MAP, map_bits * len(neighbor_maps),
-                    count=len(neighbor_maps),
-                )
-            if not neighbor_maps or newest_id < 0:
-                continue
-            requests = node.plan_requests(
-                neighbor_maps, newest_id, cfg.scheduling_window
-            )
-            # Only suppliers we actually request from get a rate observation;
-            # a requested supplier that delivers nothing decays, the others
-            # keep their estimate.
-            delivered_per_neighbor: Dict[int, int] = {
-                request.supplier_id: 0 for request in requests
-            }
-            for request in requests:
-                supplier = request.supplier_id
-                if inbound_budget.get(nid, 0.0) < 1.0:
-                    break
-                if outbound_budget.get(supplier, 0.0) < 1.0:
-                    # The chosen supplier's uplink is saturated this period;
-                    # re-request the segment from any other partner that
-                    # advertises it and still has capacity (a pull protocol
-                    # retries within the period rather than dropping the
-                    # segment on the floor).
-                    supplier = self._fallback_supplier(
-                        request.segment_id, neighbor_maps, outbound_budget
-                    )
-                    if supplier is None:
-                        continue
-                inbound_budget[nid] -= 1.0
-                outbound_budget[supplier] -= 1.0
-                node.receive_segment(request.segment_id)
-                self._consider_backup(node, request.segment_id)
-                ledger.record(MessageKind.DATA_SCHEDULED, cfg.segment_bits)
-                delivered_per_neighbor[supplier] = (
-                    delivered_per_neighbor.get(supplier, 0) + 1
-                )
-                delivered_total += 1
-            node.observe_deliveries(delivered_per_neighbor)
-        return delivered_total
-
-    @staticmethod
-    def _fallback_supplier(
-        segment_id: int,
-        neighbor_maps: Mapping[int, BufferMap],
-        outbound_budget: Mapping[int, float],
-    ) -> Optional[int]:
-        """Another partner that advertises ``segment_id`` and has uplink left."""
-        best: Optional[int] = None
-        best_budget = 1.0
-        for neighbor_id, neighbor_map in neighbor_maps.items():
-            if segment_id not in neighbor_map.present:
-                continue
-            budget = outbound_budget.get(neighbor_id, 0.0)
-            if budget >= best_budget:
-                best, best_budget = neighbor_id, budget
-        return best
-
-    def _prefetch_phase(
-        self,
-        predictions: Mapping[int, List[int]],
-        inbound_budget: Dict[int, float],
-        outbound_budget: Dict[int, float],
-        ledger: MessageLedger,
-        rng: np.random.Generator,
-        round_start: float,
-    ) -> int:
-        cfg = self.config
-        prefetched_total = 0
-        order = list(predictions)
-        rng.shuffle(order)
-        for nid in order:
-            node = self.nodes[nid]
-            assert isinstance(node, ContinuStreamingNode)
-            retriever = OnDemandRetriever(
-                node_id=nid,
-                router=self.router,
-                replicas=cfg.backup_replicas,
-                has_segment=self._holder_has_segment,
-                available_rate=lambda holder: self._holder_rate(
-                    holder, outbound_budget
-                ),
-            )
-            plans = retriever.retrieve(predictions[nid])
-            for plan in plans:
-                ledger.record(
-                    MessageKind.DHT_ROUTING,
-                    plan.routing_bits(),
-                    count=plan.routing_messages,
-                )
-                self._overhear_paths(plan)
-                if plan.segment_id in node.buffer:
-                    # The data scheduler delivered the segment while the DHT
-                    # lookup was in flight — the paper's "repeated data" case.
-                    # The routing cost was already paid; the duplicate
-                    # download is skipped and the urgent ratio shrinks.
-                    node.stats.prefetch_repeated += 1
-                    node.urgent_line.record_repeated(1)
-                    continue
-                if not plan.located:
-                    continue
-                supplier = plan.supplier_id
-                assert supplier is not None
-                if inbound_budget.get(nid, 0.0) < 1.0:
-                    continue
-                if outbound_budget.get(supplier, 0.0) < 1.0:
-                    continue
-                inbound_budget[nid] -= 1.0
-                outbound_budget[supplier] -= 1.0
-                arrival = round_start + self.fetch_time_s
-                deadline = node.deadline_of(plan.segment_id, now=round_start)
-                node.receive_segment(plan.segment_id, prefetched=True)
-                node.record_prefetch(plan.segment_id, arrival, deadline)
-                self._consider_backup(node, plan.segment_id)
-                ledger.record(MessageKind.DATA_PREFETCH, cfg.segment_bits)
-                prefetched_total += 1
-            # Settle at the end of the period: everything launched this period
-            # has either met or missed its deadline by then.
-            node.settle_prefetches(round_start + cfg.scheduling_period)
-        return prefetched_total
-
-    def _holder_has_segment(self, holder_id: int, segment_id: int) -> bool:
-        node = self.nodes.get(holder_id)
-        if node is None or not node.alive:
-            return False
-        if isinstance(node, ContinuStreamingNode):
-            return node.serves_segment(segment_id)
-        return node.has_segment(segment_id)
-
-    def _holder_rate(
-        self, holder_id: int, outbound_budget: Mapping[int, float]
-    ) -> float:
-        node = self.nodes.get(holder_id)
-        if node is None or not node.alive:
-            return 0.0
-        return max(0.0, min(node.outbound_rate, outbound_budget.get(holder_id, 0.0)))
-
-    def _overhear_paths(self, plan: PrefetchPlan) -> None:
-        """Every node on a routing path overhears the other nodes on it."""
-        for path in plan.routing_paths:
-            for hop in path:
-                node = self.nodes.get(hop)
-                if node is None or not node.alive:
-                    continue
-                self.overhearing.overhear_path(node.peer_table, path, now=self.now)
-
-    def _consider_backup(self, node: StreamingNode, segment_id: int) -> None:
-        if not isinstance(node, ContinuStreamingNode):
-            return
-        segment = self.source.store.get(segment_id)
-        if segment is None:
-            segment = Segment(segment_id=segment_id, size_bits=self.config.segment_bits)
-        node.consider_backup(segment)
-
-    # --------------------------------------------------------------------- churn
-    def _churn_phase(
-        self, rng: np.random.Generator, ledger: MessageLedger
-    ) -> tuple[int, int]:
-        if self.churn.is_static:
-            return 0, 0
-        event = self.churn.step(
-            self.round_index, self.alive_node_ids(), self.streams.get("churn")
-        )
-        for nid in event.leaving:
-            self._remove_node(nid, rng)
-        for _ in event.joining:
-            self._admit_node(rng)
-        return len(event.joining), len(event.leaving)
-
-    def _remove_node(self, node_id: int, rng: np.random.Generator) -> None:
-        node = self.nodes.get(node_id)
-        if node is None or not node.alive or node_id == self.source_id:
-            return
-        graceful = rng.random() >= self.config.abrupt_leave_fraction
-        if graceful and isinstance(node, ContinuStreamingNode):
-            successor = self._counter_clockwise_closest(node_id)
-            if successor is not None:
-                succ_node = self.nodes.get(successor)
-                if isinstance(succ_node, ContinuStreamingNode):
-                    succ_node.absorb_handover(node.handover_backup())
-        node.mark_departed()
-        self.overlay.remove_node(node_id)
-        if self.latency is not None:
-            self.latency.remove_node(node_id)
-        self.bandwidth.remove(node_id)
-        self.rendezvous.report_failure(node_id)
-        # Other nodes purge it lazily through the overhearing service's
-        # is_alive checks during neighbour repair and routing.
-
-    def _counter_clockwise_closest(self, node_id: int) -> Optional[int]:
-        """The alive node counter-clockwise closest to ``node_id``."""
-        best: Optional[int] = None
-        best_dist: Optional[int] = None
-        for other in self.alive_node_ids():
-            if other == node_id:
-                continue
-            dist = self.ring.counter_clockwise_distance(node_id, other)
-            if best_dist is None or dist < best_dist:
-                best, best_dist = other, dist
-        return best
-
-    def _admit_node(self, rng: np.random.Generator) -> int:
-        cfg = self.config
-        ticket = self.rendezvous.admit()
-        ring_id = ticket.node_id
-        # Synthetic ping time for the newcomer, same distribution as the trace.
-        ping_ms = float(np.clip(rng.lognormal(np.log(100.0), 0.6), 5.0, 1500.0))
-        if self.latency is not None:
-            self.latency.add_node(ring_id, ping_ms)
-        self.bandwidth.assign_one(ring_id, self.streams.get("bandwidth"))
-        self.overlay.add_node(ring_id)
-        node = self._make_node(ring_id)
-        node.join_time = self.now
-        self.nodes[ring_id] = node
-
-        # Contact the closest alive contacts (PING), adopt the nearest one's
-        # peer table as a base, and wire up overlay edges.
-        alive = self.alive_node_ids(include_source=True)
-        contacts = [c for c in ticket.contacts if self._is_alive(c)]
-        if not contacts and alive:
-            contacts = [alive[int(rng.integers(len(alive)))]]
-        if contacts:
-            nearest = min(contacts, key=lambda c: self._latency_ms(ring_id, c))
-            node.peer_table.adopt_base_table(self.nodes[nearest].peer_table)
-        # Connected neighbours: contacts first, then random alive nodes.
-        candidates = list(contacts)
-        pool = [nid for nid in alive if nid != ring_id]
-        if pool:
-            extra = rng.choice(
-                len(pool), size=min(len(pool), 3 * cfg.connected_neighbors),
-                replace=False,
-            )
-            candidates.extend(pool[int(i)] for i in extra)
-        self.overhearing.fill_neighbor_slots(node.peer_table, candidates)
-        for nbr in node.neighbors:
-            other = self.nodes.get(nbr)
-            if other is not None:
-                node.rate_controller.register_neighbor(nbr, other.outbound_rate, 1)
-            self._ensure_reciprocal(ring_id, nbr)
-        # DHT fingers for the newcomer (bootstrap + random fill).
-        ids = np.asarray(alive + [ring_id], dtype=np.int64)
-        ids.sort()
-        self._fill_fingers_for(node, ids, self.streams.get("dht-fingers"))
-        return ring_id
-
-    def _repair_neighbors(self) -> None:
-        """Drop dead neighbours and refill slots from overheard/alive nodes."""
-        cfg = self.config
-        rng = self.streams.get("repair")
-        alive = self.alive_node_ids()
-        if len(alive) <= 1:
-            return
-        for nid in alive:
-            node = self.nodes[nid]
-            table = node.peer_table
-            for nbr in list(table.neighbor_ids()):
-                if not self._is_alive(nbr):
-                    replacement = self.overhearing.replace_failed_neighbor(table, nbr)
-                    node.rate_controller.forget_neighbor(nbr)
-                    if replacement is not None:
-                        other = self.nodes.get(replacement)
-                        if other is not None:
-                            node.rate_controller.register_neighbor(
-                                replacement, other.outbound_rate, 1
-                            )
-                        self._ensure_reciprocal(nid, replacement)
-            self.overhearing.refresh(table)
-            missing = table.neighbor_slots_free()
-            if missing > 0:
-                pool = [x for x in alive if x != nid and not table.has_neighbor(x)]
-                if pool:
-                    picks = rng.choice(
-                        len(pool), size=min(len(pool), missing), replace=False
-                    )
-                    chosen = [pool[int(i)] for i in picks]
-                    added = self.overhearing.fill_neighbor_slots(table, chosen)
-                    for nbr in chosen[:added]:
-                        other = self.nodes.get(nbr)
-                        if other is not None:
-                            node.rate_controller.register_neighbor(
-                                nbr, other.outbound_rate, 1
-                            )
-                        self._ensure_reciprocal(nid, nbr)
+        if remaining > 1:
+            self._schedule_round(sim.now, remaining - 1)
 
 
 def run_comparison(

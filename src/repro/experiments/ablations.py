@@ -8,7 +8,10 @@ baseline:
 * the adaptive urgent ratio ``α`` vs a fixed one;
 * the number of backup replicas ``k`` (the analytic per-segment pre-fetch
   failure probability is ``(½)^k``);
-* the per-period pre-fetch cap ``l``.
+* the per-period pre-fetch cap ``l``;
+* whole pipeline phases — the ``pipeline=`` hook removes (or replaces) a
+  :class:`~repro.core.phases.base.Phase` structurally instead of tuning its
+  parameters to zero (:func:`run_phase_ablation`).
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.core.config import SystemConfig
+from repro.core.phases import Phase, ProtocolRegistry
 from repro.core.system import StreamingSystem
 
 
@@ -38,14 +42,67 @@ class AblationPoint:
         }
 
 
-def _run(name: str, config: SystemConfig, system: str) -> AblationPoint:
-    run = StreamingSystem(config, system=system).run()
+def _run(
+    name: str,
+    config: SystemConfig,
+    system: str,
+    pipeline: Optional[Sequence[Phase]] = None,
+) -> AblationPoint:
+    run = StreamingSystem(config, system=system, pipeline=pipeline).run()
     return AblationPoint(
         name=name,
         stable_continuity=run.stable_continuity(),
         prefetch_overhead=run.prefetch_overhead(),
         control_overhead=run.control_overhead(),
     )
+
+
+def _pipeline_without(system: str, *phase_names: str) -> List[Phase]:
+    """The ``system`` protocol's default pipeline minus the named phases.
+
+    Raises:
+        ValueError: if a requested name matches no phase — a typo here would
+            otherwise silently produce a "full pipeline" labelled as ablated.
+    """
+    default = ProtocolRegistry.get(system).build_pipeline()
+    known = {phase.name for phase in default}
+    missing = [name for name in phase_names if name not in known]
+    if missing:
+        raise ValueError(
+            f"cannot ablate {missing!r}: not in the {system!r} pipeline {sorted(known)}"
+        )
+    return [phase for phase in default if phase.name not in phase_names]
+
+
+def run_phase_ablation(
+    base_config: Optional[SystemConfig] = None,
+) -> List[AblationPoint]:
+    """Structural pipeline ablation via the ``pipeline=`` hook.
+
+    Unlike :func:`run_prefetch_limit_ablation` (which tunes ``l`` to zero but
+    still runs the prediction machinery), this removes whole phases from the
+    round pipeline: first the on-demand retrieval (predictions are made but
+    never acted on), then the urgent-line prediction as well (pure gossip
+    with ContinuStreaming's scheduler).
+    """
+    config = base_config or SystemConfig(num_nodes=200, rounds=30)
+    return [
+        _run("full pipeline", config, "continustreaming"),
+        _run(
+            "no on-demand retrieval phase",
+            config,
+            "continustreaming",
+            pipeline=_pipeline_without("continustreaming", "on-demand-retrieval"),
+        ),
+        _run(
+            "no prediction, no retrieval",
+            config,
+            "continustreaming",
+            pipeline=_pipeline_without(
+                "continustreaming", "urgent-line-prediction", "on-demand-retrieval"
+            ),
+        ),
+    ]
 
 
 def run_priority_ablation(

@@ -134,6 +134,7 @@ def cmd_ablations(args: argparse.Namespace) -> str:
         ("priority / pre-fetch", ablations_mod.run_priority_ablation(config)),
         ("backup replicas k", ablations_mod.run_replica_ablation(base_config=config)),
         ("pre-fetch cap l", ablations_mod.run_prefetch_limit_ablation(base_config=config)),
+        ("pipeline phases", ablations_mod.run_phase_ablation(base_config=config)),
     ]
     lines = []
     for title, points in sections:

@@ -11,7 +11,10 @@ The rest of the library only needs three things from the engine:
 Events carry an arbitrary callback and payload; cancellation is supported by
 marking the event rather than removing it from the heap (lazy deletion),
 which keeps :meth:`EventQueue.push` and :meth:`EventQueue.pop` at
-``O(log n)``.
+``O(log n)``.  So that heavy cancellation churn cannot grow the heap without
+bound, the queue compacts itself — rebuilds the heap without the cancelled
+entries — whenever cancelled events outnumber live ones
+(see :meth:`EventQueue.cancel`).
 """
 
 from __future__ import annotations
@@ -39,10 +42,20 @@ class Event:
     callback: Callable[["Simulator", Any], None] = field(compare=False)
     payload: Any = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    popped: bool = field(compare=False, default=False)
+    _queue: Optional["EventQueue"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it when popped."""
-        self.cancelled = True
+        """Cancel this event so the simulator skips it when popped.
+
+        Delegates to the owning queue (when scheduled) so the queue's
+        live/cancelled tallies — and therefore compaction — stay correct no
+        matter which cancellation path the caller uses.
+        """
+        if self._queue is not None:
+            self._queue.cancel(self)
+        else:
+            self.cancelled = True
 
 
 class SimulationClock:
@@ -74,16 +87,26 @@ class SimulationClock:
 class EventQueue:
     """Binary-heap priority queue of :class:`Event` objects."""
 
+    #: Heaps smaller than this are never compacted (rebuilds would cost more
+    #: than the memory they reclaim).
+    COMPACTION_MIN_SIZE = 8
+
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
         return self._live
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    @property
+    def cancelled_count(self) -> int:
+        """Cancelled events still occupying heap slots (awaiting compaction)."""
+        return self._cancelled
 
     def push(
         self,
@@ -93,7 +116,7 @@ class EventQueue:
     ) -> Event:
         """Schedule ``callback(sim, payload)`` at simulated ``time``."""
         event = Event(time=float(time), seq=next(self._counter), callback=callback,
-                      payload=payload)
+                      payload=payload, _queue=self)
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
@@ -103,31 +126,70 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled = max(0, self._cancelled - 1)
                 continue
             self._live -= 1
+            event.popped = True
             return event
         self._live = 0
+        self._cancelled = 0
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or ``None`` if empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled = max(0, self._cancelled - 1)
         if not self._heap:
             self._live = 0
+            self._cancelled = 0
             return None
         return self._heap[0].time
 
     def cancel(self, event: Event) -> None:
-        """Lazily cancel a previously scheduled event."""
+        """Lazily cancel a previously scheduled event.
+
+        When the cancelled entries come to outnumber the live ones (and the
+        heap is big enough for a rebuild to pay off), the heap is compacted:
+        lazy deletion stays ``O(log n)`` per operation, but a workload that
+        cancels most of what it schedules no longer holds the dead entries
+        until their pop time.
+
+        Cancelling an event that already ran is a no-op: the event no longer
+        occupies a heap slot, so counting it would corrupt the live and
+        cancelled tallies.
+        """
+        if event.popped:
+            return
         if not event.cancelled:
-            event.cancel()
+            event.cancelled = True
             self._live = max(0, self._live - 1)
+            self._cancelled += 1
+            if (
+                len(self._heap) >= self.COMPACTION_MIN_SIZE
+                and self._cancelled * 2 > len(self._heap)
+            ):
+                self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap without its cancelled entries."""
+        if self._cancelled == 0:
+            return
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event.
+
+        Outstanding :class:`Event` handles are invalidated so that a later
+        ``cancel()`` through a stale handle cannot corrupt the tallies.
+        """
+        for event in self._heap:
+            event.popped = True
         self._heap.clear()
         self._live = 0
+        self._cancelled = 0
 
     def __iter__(self) -> Iterator[Event]:
         return (e for e in sorted(self._heap) if not e.cancelled)

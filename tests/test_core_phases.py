@@ -1,0 +1,403 @@
+"""Unit tests for the round pipeline: phases, context, registry, hooks.
+
+Each extracted phase is exercised in isolation against a minimal synthetic
+:class:`~repro.core.phases.base.RoundContext` — no full overlay build — plus
+integration tests for the ``pipeline=`` hook and third-party protocol
+registration (which must work without touching ``repro.core.system``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import CoolStreamingNode
+from repro.core.config import SystemConfig
+from repro.core.continu import ContinuStreamingNode
+from repro.core.node import StreamingNode
+from repro.core.overlay import OverlayManager
+from repro.core.phases import (
+    END,
+    BufferMapGossipPhase,
+    ChurnMaintenancePhase,
+    ContinuStreamingProtocol,
+    DataSchedulingPhase,
+    OnDemandRetrievalPhase,
+    Phase,
+    PhaseReport,
+    PlaybackPhase,
+    ProtocolRegistry,
+    RoundContext,
+    SourceGenerationPhase,
+    UrgentLinePredictionPhase,
+)
+from repro.core.system import StreamingSystem
+from repro.dht.peer_table import NeighborEntry
+from repro.dht.ring import IdRing
+from repro.net.message import MessageKind, MessageLedger
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.streaming.source import MediaSource
+
+
+CONFIG = SystemConfig(
+    num_nodes=4,
+    rounds=5,
+    buffer_capacity=60,
+    playback_lag_segments=20,
+    scheduling_window=30,
+    startup_segments=5,
+    seed=7,
+)
+
+RING = IdRing(1024)
+
+
+def make_node(
+    node_id: int,
+    cls=ContinuStreamingNode,
+    *,
+    is_source: bool = False,
+    inbound: float = 15.0,
+    outbound: float = 15.0,
+) -> StreamingNode:
+    kwargs = dict(
+        buffer_capacity=CONFIG.buffer_capacity,
+        playback_rate=CONFIG.playback_rate,
+        period=CONFIG.scheduling_period,
+        inbound_rate=inbound,
+        outbound_rate=outbound,
+        max_neighbors=CONFIG.connected_neighbors,
+        overheard_capacity=CONFIG.overheard_capacity,
+        playback_lag=CONFIG.playback_lag_segments,
+        is_source=is_source,
+    )
+    if cls is ContinuStreamingNode:
+        kwargs.update(
+            backup_replicas=CONFIG.backup_replicas,
+            prefetch_limit=CONFIG.prefetch_limit,
+            hop_latency=0.05,
+            fetch_time=0.2,
+        )
+    return cls(node_id, RING, **kwargs)
+
+
+def make_ctx(nodes: Dict[int, StreamingNode], source_id: int, **overrides) -> RoundContext:
+    defaults = dict(
+        config=CONFIG,
+        protocol="continustreaming",
+        round_index=0,
+        round_start=0.0,
+        period=CONFIG.scheduling_period,
+        rng=np.random.default_rng(99),
+        ledger=MessageLedger(),
+        nodes=nodes,
+        source=MediaSource(
+            playback_rate=CONFIG.playback_rate, segment_bits=CONFIG.segment_bits
+        ),
+        source_id=source_id,
+    )
+    defaults.update(overrides)
+    return RoundContext(**defaults)
+
+
+def partner(a: StreamingNode, b: StreamingNode) -> None:
+    """Minimal symmetric partnership for synthetic contexts."""
+    a.peer_table.add_neighbor(NeighborEntry(peer_id=b.node_id, latency_ms=20.0))
+    b.peer_table.add_neighbor(NeighborEntry(peer_id=a.node_id, latency_ms=20.0))
+    a.rate_controller.register_neighbor(b.node_id, b.outbound_rate, 1)
+    b.rate_controller.register_neighbor(a.node_id, a.outbound_rate, 1)
+
+
+class TestSourceGenerationPhase:
+    def test_generates_one_period_of_segments(self):
+        source = make_node(1, is_source=True)
+        ctx = make_ctx({1: source}, source_id=1)
+        report = SourceGenerationPhase().execute(ctx)
+        assert ctx.newest_segment_id >= CONFIG.segments_per_round - 1
+        assert len(source.buffer) == ctx.newest_segment_id + 1
+        assert report.details["segments_generated"] == ctx.newest_segment_id + 1
+
+    def test_second_round_continues_the_stream(self):
+        source = make_node(1, is_source=True)
+        ctx = make_ctx({1: source}, source_id=1)
+        SourceGenerationPhase().execute(ctx)
+        first_newest = ctx.newest_segment_id
+        ctx2 = make_ctx({1: source}, source_id=1, round_start=1.0, source=ctx.source)
+        SourceGenerationPhase().execute(ctx2)
+        assert ctx2.newest_segment_id == first_newest + CONFIG.segments_per_round
+
+
+class TestBufferMapGossipPhase:
+    def test_census_snapshots_and_budgets(self):
+        source = make_node(1, is_source=True, inbound=0.0, outbound=100.0)
+        peer = make_node(2)
+        dead = make_node(3)
+        dead.mark_departed()
+        source.buffer.add(0)
+        ctx = make_ctx({1: source, 2: peer, 3: dead}, source_id=1)
+        report = BufferMapGossipPhase().execute(ctx)
+        assert ctx.alive_ids == [1, 2]
+        assert ctx.consumers == [2]
+        assert 0 in ctx.snapshots[1].present
+        assert ctx.inbound_budget[2] == pytest.approx(15.0)
+        assert ctx.outbound_budget[1] == pytest.approx(100.0)
+        assert report.details["nodes_alive"] == 2
+
+    def test_snapshots_are_start_of_period_state(self):
+        node = make_node(1)
+        ctx = make_ctx({1: node}, source_id=99)
+        BufferMapGossipPhase().execute(ctx)
+        node.buffer.add(7)  # delivered mid-round
+        assert 7 not in ctx.snapshots[1].present
+
+
+class TestUrgentLinePredictionPhase:
+    def test_matches_node_level_prediction(self):
+        node = make_node(2)
+        # Playing at segment 0 with a gap right ahead: urgent and missing.
+        for sid in (0, 2, 3):
+            node.buffer.add(sid)
+        node.maybe_start_playback(1, newest_available_id=10)
+        ctx = make_ctx({2: node}, source_id=1, newest_segment_id=10)
+        ctx.consumers = [2]
+        report = UrgentLinePredictionPhase().execute(ctx)
+        expected = node.predict_missed(10)
+        if expected.triggered:
+            assert ctx.predictions[2] == list(expected.missed_segment_ids)
+            assert ctx.prefetch_triggers == 1
+        else:
+            assert 2 not in ctx.predictions
+        assert report.details["triggers"] == ctx.prefetch_triggers
+
+    def test_complete_buffer_never_triggers(self):
+        node = make_node(2)
+        for sid in range(10):
+            node.buffer.add(sid)
+        ctx = make_ctx({2: node}, source_id=1, newest_segment_id=9)
+        ctx.consumers = [2]
+        UrgentLinePredictionPhase().execute(ctx)
+        assert ctx.predictions == {}
+
+    def test_coolstreaming_nodes_are_skipped(self):
+        node = make_node(2, cls=CoolStreamingNode)
+        ctx = make_ctx({2: node}, source_id=1, newest_segment_id=50)
+        ctx.consumers = [2]
+        UrgentLinePredictionPhase().execute(ctx)
+        assert ctx.predictions == {}
+        assert ctx.prefetch_triggers == 0
+
+
+class TestDataSchedulingPhase:
+    def _scheduling_ctx(self):
+        supplier = make_node(1, is_source=True, inbound=0.0, outbound=100.0)
+        consumer = make_node(2)
+        partner(supplier, consumer)
+        for sid in range(10):
+            supplier.buffer.add(sid)
+        ctx = make_ctx({1: supplier, 2: consumer}, source_id=1)
+        BufferMapGossipPhase().execute(ctx)
+        ctx.newest_segment_id = 9
+        return ctx, supplier, consumer
+
+    def test_segments_flow_and_traffic_is_charged(self):
+        ctx, _, consumer = self._scheduling_ctx()
+        report = DataSchedulingPhase().execute(ctx)
+        assert ctx.segments_scheduled > 0
+        assert report.details["segments_delivered"] == ctx.segments_scheduled
+        assert len(consumer.buffer) == ctx.segments_scheduled
+        assert ctx.ledger.bits_of(MessageKind.BUFFER_MAP) > 0
+        assert ctx.ledger.bits_of(MessageKind.DATA_SCHEDULED) > 0
+
+    def test_budgets_are_spent(self):
+        ctx, supplier, consumer = self._scheduling_ctx()
+        DataSchedulingPhase().execute(ctx)
+        spent = ctx.segments_scheduled
+        assert ctx.inbound_budget[2] == pytest.approx(15.0 - spent)
+        assert ctx.outbound_budget[1] == pytest.approx(100.0 - spent)
+
+    def test_no_newest_segment_means_no_requests(self):
+        ctx, _, consumer = self._scheduling_ctx()
+        ctx.newest_segment_id = -1
+        DataSchedulingPhase().execute(ctx)
+        assert ctx.segments_scheduled == 0
+        assert len(consumer.buffer) == 0
+
+
+class TestOnDemandRetrievalPhase:
+    def _manager_ctx(self, nodes: Dict[int, StreamingNode], **overrides):
+        manager = OverlayManager(config=CONFIG, streams=RngStreams(seed=3))
+        manager.nodes.update(nodes)
+        ctx = make_ctx(nodes, source_id=1, manager=manager, **overrides)
+        BufferMapGossipPhase().execute(ctx)
+        return ctx
+
+    def test_no_predictions_is_a_cheap_no_op(self):
+        node = make_node(2)
+        ctx = self._manager_ctx({2: node})
+        report = OnDemandRetrievalPhase().execute(ctx)
+        assert report.details["nodes_triggered"] == 0
+        assert ctx.segments_prefetched == 0
+
+    def test_repeated_data_is_detected_inline(self):
+        node = make_node(2)
+        node.buffer.add(5)  # the scheduler delivered it while the DHT looked
+        ctx = self._manager_ctx({2: node})
+        ctx.predictions = {2: [5]}
+        OnDemandRetrievalPhase().execute(ctx)  # ctx.sim is None -> inline
+        assert node.stats.prefetch_repeated == 1
+        assert ctx.segments_prefetched == 0
+
+    def test_retrieval_rides_the_event_engine(self):
+        node = make_node(2)
+        node.buffer.add(5)
+        sim = Simulator()
+        ctx = self._manager_ctx({2: node}, sim=sim)
+        ctx.predictions = {2: [5]}
+        OnDemandRetrievalPhase().execute(ctx)
+        assert node.stats.prefetch_repeated == 0  # nothing ran yet
+        assert len(sim.queue) == 1
+        sim.run()
+        assert node.stats.prefetch_repeated == 1
+        assert sim.now == pytest.approx(ctx.manager.fetch_time_s)
+
+
+class TestPlaybackPhase:
+    def test_playing_node_counts_toward_continuity(self):
+        node = make_node(2)
+        for sid in range(30):
+            node.buffer.add(sid)
+        ctx = make_ctx({2: node}, source_id=1, newest_segment_id=29)
+        ctx.consumers = [2]
+        report = PlaybackPhase().execute(ctx)
+        assert node.playback.started
+        assert ctx.nodes_playing == 1
+        assert ctx.continuity == pytest.approx(1.0)
+        assert report.details["continuity"] == pytest.approx(1.0)
+
+    def test_starved_node_does_not_count(self):
+        node = make_node(2)
+        ctx = make_ctx({2: node}, source_id=1, newest_segment_id=50)
+        ctx.consumers = [2]
+        PlaybackPhase().execute(ctx)
+        assert ctx.nodes_playing == 0
+        assert ctx.continuity == pytest.approx(0.0)
+
+    def test_runs_at_period_end(self):
+        assert PlaybackPhase.timing == END
+
+
+class TestChurnMaintenancePhase:
+    def test_static_config_changes_nothing(self):
+        node = make_node(2)
+        manager = OverlayManager(config=CONFIG, streams=RngStreams(seed=3))
+        manager.nodes[2] = node
+        ctx = make_ctx({2: node}, source_id=1, manager=manager)
+        report = ChurnMaintenancePhase().execute(ctx)
+        assert (ctx.nodes_joined, ctx.nodes_left) == (0, 0)
+        assert report.details["nodes_left"] == 0
+        assert node.alive
+
+    def test_runs_at_period_end(self):
+        assert ChurnMaintenancePhase.timing == END
+
+
+class TestPipelineHook:
+    def test_custom_tap_phase_sees_every_round(self, tiny_config):
+        taps = []
+
+        class MetricsTapPhase(Phase):
+            name = "metrics-tap"
+            timing = END
+
+            def execute(self, ctx: RoundContext) -> PhaseReport:
+                taps.append((ctx.round_index, ctx.segments_scheduled))
+                return self.report(rounds_seen=len(taps))
+
+        system = StreamingSystem(tiny_config)
+        pipeline = list(system.protocol.build_pipeline()) + [MetricsTapPhase()]
+        result = StreamingSystem(tiny_config, pipeline=pipeline).run()
+        assert len(taps) == tiny_config.rounds
+        assert [index for index, _ in taps] == list(range(tiny_config.rounds))
+        assert sum(count for _, count in taps) == sum(
+            r.segments_scheduled for r in result.rounds
+        )
+
+    def test_ablating_a_phase_switches_off_its_traffic(self, tiny_config):
+        default = StreamingSystem(tiny_config)
+        pipeline = [
+            phase
+            for phase in default.protocol.build_pipeline()
+            if phase.name not in ("urgent-line-prediction", "on-demand-retrieval")
+        ]
+        result = StreamingSystem(tiny_config, pipeline=pipeline).run()
+        totals = result.traffic.cumulative()
+        assert totals.bits_of(MessageKind.DHT_ROUTING) == 0
+        assert totals.bits_of(MessageKind.DATA_PREFETCH) == 0
+
+    def test_invalid_phase_timing_is_rejected(self, tiny_config):
+        class TypoTimingPhase(Phase):
+            name = "typo-timing"
+            timing = "End"  # not the END constant
+
+            def execute(self, ctx: RoundContext) -> PhaseReport:
+                return self.report()
+
+        with pytest.raises(ValueError, match="invalid timing"):
+            StreamingSystem(tiny_config, pipeline=[TypoTimingPhase()])
+
+    def test_default_pipeline_comes_from_the_registry(self, tiny_config):
+        conti = StreamingSystem(tiny_config, system="continustreaming")
+        cool = StreamingSystem(tiny_config, system="coolstreaming")
+        conti_names = [phase.name for phase in conti.pipeline]
+        cool_names = [phase.name for phase in cool.pipeline]
+        assert "on-demand-retrieval" in conti_names
+        assert "on-demand-retrieval" not in cool_names
+        assert conti_names[-1] == cool_names[-1] == "churn-maintenance"
+
+
+class TestProtocolRegistry:
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            ProtocolRegistry.get("bittorrent")
+
+    def test_builtins_are_registered(self):
+        assert ProtocolRegistry.known("continustreaming")
+        assert ProtocolRegistry.known("coolstreaming")
+
+    def test_alias_registration_does_not_relabel_the_original(self):
+        from repro.core.phases.registry import CoolStreamingProtocol
+
+        ProtocolRegistry.register("cool-alias")(CoolStreamingProtocol)
+        try:
+            assert ProtocolRegistry.get("cool-alias").name == "cool-alias"
+            assert ProtocolRegistry.get("coolstreaming").name == "coolstreaming"
+        finally:
+            ProtocolRegistry.unregister("cool-alias")
+
+    def test_third_protocol_registers_without_touching_system(self, tiny_config):
+        """A no-prefetch ablation variant plugs in from one file/test."""
+
+        @ProtocolRegistry.register("noprefetch")
+        class NoPrefetchProtocol(ContinuStreamingProtocol):
+            def build_pipeline(self):
+                return tuple(
+                    phase
+                    for phase in super().build_pipeline()
+                    if phase.name
+                    not in ("urgent-line-prediction", "on-demand-retrieval")
+                )
+
+        try:
+            result = StreamingSystem(tiny_config, system="noprefetch").run()
+            assert result.system == "noprefetch"
+            totals = result.traffic.cumulative()
+            assert totals.bits_of(MessageKind.DHT_ROUTING) == 0
+            assert totals.bits_of(MessageKind.DATA_PREFETCH) == 0
+            assert totals.bits_of(MessageKind.DATA_SCHEDULED) > 0
+        finally:
+            ProtocolRegistry.unregister("noprefetch")
+        with pytest.raises(ValueError):
+            StreamingSystem(tiny_config, system="noprefetch")

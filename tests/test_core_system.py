@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import asdict, replace
 
 import pytest
 
@@ -208,6 +208,55 @@ class TestChurn:
         for nid in system.alive_node_ids():
             for neighbor in system.nodes[nid].peer_table.neighbor_ids():
                 assert system.nodes[neighbor].alive
+
+
+class TestDeterminism:
+    """Two runs from the same seed must be byte-identical (guards the
+    pipeline refactor against ordering regressions)."""
+
+    @pytest.mark.parametrize("system", ["coolstreaming", "continustreaming"])
+    def test_same_seed_gives_identical_round_reports(self, tiny_config, system):
+        a = StreamingSystem(tiny_config, system=system).run()
+        b = StreamingSystem(tiny_config, system=system).run()
+        assert repr(a.rounds) == repr(b.rounds)
+        assert [asdict(r) for r in a.rounds] == [asdict(r) for r in b.rounds]
+
+    @pytest.mark.parametrize("system", ["coolstreaming", "continustreaming"])
+    def test_same_seed_identical_under_churn(self, tiny_config, system):
+        config = tiny_config.dynamic_variant(0.1)
+        a = StreamingSystem(config, system=system).run()
+        b = StreamingSystem(config, system=system).run()
+        assert repr(a.rounds) == repr(b.rounds)
+        assert a.control_overhead() == pytest.approx(b.control_overhead())
+        assert a.prefetch_overhead() == pytest.approx(b.prefetch_overhead())
+
+
+class TestEventDrivenClock:
+    """The discrete-event engine is the single clock source during a run."""
+
+    def test_rounds_are_events_on_the_simulator(self, tiny_config):
+        system = StreamingSystem(tiny_config).build()
+        assert system.sim.events_processed == 0
+        system.step_round()
+        # At least the round-begin and round-commit events fired.
+        assert system.sim.events_processed >= 2
+        assert system.now == system.sim.now
+
+    def test_prefetch_fetches_run_as_intra_round_events(self, small_config):
+        system = StreamingSystem(small_config, system="continustreaming").build()
+        for _ in range(small_config.rounds):
+            system.step_round()
+        triggered = sum(r.prefetch_triggers for r in system.reports)
+        rounds = len(system.reports)
+        assert triggered > 0
+        # begin + commit per round, plus one event per triggered node.
+        assert system.sim.events_processed == 2 * rounds + triggered
+
+    def test_run_drains_the_event_queue(self, tiny_config):
+        system = StreamingSystem(tiny_config)
+        system.run()
+        assert len(system.sim.queue) == 0
+        assert system.now == pytest.approx(tiny_config.duration)
 
 
 class TestHeadlineComparison:

@@ -7,6 +7,7 @@ import pytest
 from repro.core.config import SystemConfig
 from repro.experiments.ablations import (
     format_ablation,
+    run_phase_ablation,
     run_prefetch_limit_ablation,
     run_priority_ablation,
     run_replica_ablation,
@@ -168,6 +169,23 @@ class TestAblations:
     def test_prefetch_limit_ablation(self):
         points = run_prefetch_limit_ablation(limits=(0, 5), base_config=SMALL)
         assert points[0].prefetch_overhead == 0.0
+
+    def test_phase_ablation_switches_off_prefetch_traffic(self):
+        points = run_phase_ablation(SMALL)
+        assert [point.name for point in points] == [
+            "full pipeline",
+            "no on-demand retrieval phase",
+            "no prediction, no retrieval",
+        ]
+        assert points[0].prefetch_overhead > 0.0
+        assert points[1].prefetch_overhead == 0.0
+        assert points[2].prefetch_overhead == 0.0
+
+    def test_phase_ablation_rejects_unknown_phase_names(self):
+        from repro.experiments.ablations import _pipeline_without
+
+        with pytest.raises(ValueError, match="cannot ablate"):
+            _pipeline_without("continustreaming", "ondemand-retrieval")  # typo
 
     def test_formatting(self):
         text = format_ablation(run_replica_ablation(replica_counts=(1,), base_config=SMALL))

@@ -95,6 +95,116 @@ class TestEventQueue:
         assert [event.payload for event in queue] == ["a", "c"]
 
 
+class TestEventQueueCompaction:
+    def test_cancelled_count_tracks_lazy_deletions(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda s, p: None) for i in range(4)]
+        assert queue.cancelled_count == 0
+        queue.cancel(events[0])
+        queue.cancel(events[1])
+        assert queue.cancelled_count == 2
+        assert len(queue) == 2
+
+    def test_pop_and_peek_reclaim_cancelled_slots(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda s, p: None)
+        queue.push(2.0, lambda s, p: None, "kept")
+        queue.cancel(first)
+        assert queue.pop().payload == "kept"
+        assert queue.cancelled_count == 0
+
+    def test_heavy_cancellation_compacts_the_heap(self):
+        """Regression: lazy deletion must not hold dead entries forever."""
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda s, p: None, i) for i in range(100)]
+        # Cancel far-future events only, so nothing is reclaimed by pop/peek.
+        for event in events[40:]:
+            queue.cancel(event)
+            # Invariant: cancelled entries never outnumber half the heap.
+            assert queue.cancelled_count * 2 <= len(queue._heap)
+        # Compaction fired at least once, shedding dead entries early.
+        assert len(queue._heap) < 100
+        assert len(queue) == 40
+        assert [queue.pop().payload for _ in range(40)] == list(range(40))
+        assert queue.pop() is None
+
+    def test_compaction_preserves_tie_break_order(self):
+        queue = EventQueue()
+        keep = [queue.push(1.0, lambda s, p: None, f"k{i}") for i in range(3)]
+        doomed = [queue.push(0.5, lambda s, p: None) for _ in range(10)]
+        for event in doomed:
+            queue.cancel(event)
+        assert len(queue._heap) < 13  # compacted at least once
+        assert [queue.pop().payload for _ in range(3)] == ["k0", "k1", "k2"]
+        assert keep[0].seq < keep[1].seq < keep[2].seq
+
+    def test_small_heaps_are_left_alone(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda s, p: None) for i in range(4)]
+        for event in events[1:]:
+            queue.cancel(event)
+        # Below COMPACTION_MIN_SIZE: lazy entries stay until popped past.
+        assert queue.cancelled_count == 3
+        assert len(queue._heap) == 4
+
+    def test_explicit_compact_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda s, p: None)
+        queue.push(2.0, lambda s, p: None)
+        queue.cancel(event)
+        queue.compact()
+        queue.compact()
+        assert queue.cancelled_count == 0
+        assert len(queue) == 1
+
+    def test_clear_resets_cancelled_count(self):
+        queue = EventQueue()
+        queue.cancel(queue.push(1.0, lambda s, p: None))
+        queue.clear()
+        assert queue.cancelled_count == 0
+
+    def test_direct_event_cancel_updates_queue_bookkeeping(self):
+        """Event.cancel() and EventQueue.cancel() must be equivalent."""
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda s, p: None) for i in range(20)]
+        for event in events[5:]:
+            event.cancel()  # handle-level cancel, not queue.cancel
+        assert len(queue) == 5
+        assert queue.cancelled_count * 2 <= len(queue._heap)
+        assert len(queue._heap) < 20  # compaction still fires
+
+    def test_detached_event_cancel_still_marks_it(self):
+        event = Event(time=1.0, seq=0, callback=lambda s, p: None)
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancel_after_clear_is_a_no_op(self):
+        """Stale handles from before clear() must not corrupt the counters."""
+        queue = EventQueue()
+        stale = queue.push(1.0, lambda s, p: None)
+        queue.clear()
+        queue.push(1.0, lambda s, p: None, "a")
+        queue.push(2.0, lambda s, p: None, "b")
+        queue.cancel(stale)
+        assert len(queue) == 2
+        assert queue.cancelled_count == 0
+        drained = []
+        while queue:
+            drained.append(queue.pop().payload)
+        assert drained == ["a", "b"]
+
+    def test_cancel_after_pop_is_a_no_op(self):
+        """Cancelling an already-executed event must not corrupt the counters."""
+        queue = EventQueue()
+        done = queue.push(1.0, lambda s, p: None)
+        queue.push(2.0, lambda s, p: None, "pending")
+        assert queue.pop() is done
+        queue.cancel(done)  # stale handle: the event already ran
+        assert len(queue) == 1
+        assert queue.cancelled_count == 0
+        assert queue.pop().payload == "pending"
+
+
 class TestSimulator:
     def test_runs_single_event(self):
         sim = Simulator()
