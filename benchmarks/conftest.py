@@ -11,17 +11,37 @@ rows/series can be compared against EXPERIMENTS.md by eye.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 #: "small" (default) or "paper".
 SCALE = os.environ.get("CONTINU_BENCH_SCALE", "small")
 
+#: Where BENCH_*.json artifacts land (the repo root / CI working directory).
+ARTIFACT_DIR = Path(os.environ.get("CONTINU_BENCH_ARTIFACT_DIR", "."))
+
 
 def scaled(small_value, paper_value):
     """Pick the small or paper-scale variant of a parameter."""
     return paper_value if SCALE == "paper" else small_value
+
+
+def write_bench_artifact(name: str, payload) -> Path:
+    """Write a machine-readable benchmark artifact as ``BENCH_<name>.json``.
+
+    Benchmarks that produce data worth tracking across commits (wall
+    times, continuity aggregates) emit it here in addition to their
+    printed summary; ``CONTINU_BENCH_ARTIFACT_DIR`` redirects the output
+    directory (default: the working directory).
+    """
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 @pytest.fixture(scope="session")

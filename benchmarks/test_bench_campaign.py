@@ -1,0 +1,59 @@
+"""Campaign benchmark — a multi-scenario, multi-seed sweep end to end.
+
+Runs a small campaign over the built-in scenario library through the
+:class:`~repro.scenarios.campaign.CampaignRunner` (serial, so the measured
+time is comparable across machines regardless of core count) and emits
+``BENCH_campaign.json`` with per-scenario wall time and continuity, the
+artifact CI tracks across commits.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_bench_artifact
+
+from repro.scenarios import run_campaign
+
+SMALL_SCENARIOS = ["static", "paper-dynamic", "flash-crowd"]
+PAPER_SCENARIOS = ["static", "paper-dynamic", "flash-crowd", "diurnal",
+                   "blackout", "hetero-swarm"]
+
+
+def test_bench_campaign(benchmark):
+    scenarios = scaled(SMALL_SCENARIOS, PAPER_SCENARIOS)
+    seeds = scaled([0, 1], [0, 1, 2, 3])
+    num_nodes = scaled(60, 400)
+    rounds = scaled(8, 30)
+
+    store = benchmark.pedantic(
+        run_campaign,
+        kwargs=dict(
+            scenarios=scenarios,
+            seeds=seeds,
+            node_counts=[num_nodes],
+            rounds=rounds,
+            workers=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(store) == len(scenarios) * len(seeds)
+    summary = store.summary()
+
+    artifact = {}
+    for result in store:
+        entry = artifact.setdefault(
+            result.scenario,
+            {"wall_time_s": 0.0, "stable_continuity": 0.0, "seeds": 0},
+        )
+        entry["wall_time_s"] += result.wall_time_s
+        entry["seeds"] += 1
+    for group_key, metrics in summary.items():
+        scenario = group_key.split("/")[0]
+        artifact[scenario]["stable_continuity"] = metrics["stable_continuity"]["mean"]
+    path = write_bench_artifact("campaign", artifact)
+
+    print(f"\n{store.format_summary()}\nartifact: {path}")
+    # Every scenario must produce a live stream, not a stalled one.
+    for scenario, entry in artifact.items():
+        assert 0.0 < entry["stable_continuity"] <= 1.0, scenario

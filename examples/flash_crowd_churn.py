@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Live-event scenario: heavy churn while streaming.
+"""Live-event scenarios: heavy churn while streaming.
 
 Models the workload the paper's introduction motivates — a live broadcast
-where viewers continuously join and leave.  The run starts from a 200-node
-overlay and churns 5 % of the audience out and 5 % in every scheduling
-period (the paper's dynamic environment), then reports how much playback
-continuity the DHT-assisted pre-fetch recovers compared to the
-CoolStreaming baseline, and what it costs.
+where viewers continuously join and leave — as a sweep over three built-in
+scenarios from the scenario library (``repro.scenarios``):
+
+* ``static`` — fixed membership, the reference point;
+* ``paper-dynamic`` — the paper's 5% join + 5% leave per period;
+* ``flash-crowd`` — a 25%-per-round join spike for 3 rounds, then an
+  elevated-leave drain.
+
+Each scenario runs both CoolStreaming and ContinuStreaming on the same
+seed/topology, reporting how much playback continuity the DHT-assisted
+pre-fetch recovers and what it costs.  The wiring (churn schedule, config,
+pipeline) all lives in the scenario specs — this script only picks names.
 
 Run with::
 
@@ -15,14 +22,22 @@ Run with::
 
 from __future__ import annotations
 
-from repro import StreamingSystem, SystemConfig
+from repro.scenarios import builtin_scenario
+
+SCENARIOS = (
+    ("static", "static audience (reference)"),
+    ("paper-dynamic", "live event: 5% join + 5% leave per second"),
+    ("flash-crowd", "flash crowd: 25% join spike, then the drain"),
+)
 
 
-def run_environment(config: SystemConfig, label: str) -> None:
+def run_scenario(name: str, label: str) -> None:
+    spec = builtin_scenario(name).scaled(num_nodes=200, rounds=35, seed=7)
     print(f"--- {label} ---")
-    results = {}
-    for system in ("coolstreaming", "continustreaming"):
-        results[system] = StreamingSystem(config, system=system).run()
+    results = {
+        system: spec.scaled(system=system).run()
+        for system in ("coolstreaming", "continustreaming")
+    }
     cool = results["coolstreaming"]
     conti = results["continustreaming"]
     print(f"  CoolStreaming     stable continuity: {cool.stable_continuity():.3f}")
@@ -37,15 +52,15 @@ def run_environment(config: SystemConfig, label: str) -> None:
 
 
 def main() -> None:
-    base = SystemConfig(num_nodes=200, rounds=35, seed=7)
-
-    # Static reference first, then the churned live-event run.
-    run_environment(base.static_variant(), "static audience (reference)")
-    run_environment(base.dynamic_variant(0.05), "live event: 5% join + 5% leave per second")
-    run_environment(base.dynamic_variant(0.10), "flash crowd: 10% join + 10% leave per second")
+    for name, label in SCENARIOS:
+        run_scenario(name, label)
 
     print("The increment brought by ContinuStreaming grows as churn increases —")
     print("exactly the trend the paper reports for its dynamic environments.")
+    print()
+    print("Sweep these scenarios over many seeds in parallel with:")
+    print("  continustreaming-experiments campaign --scenario static paper-dynamic"
+          " flash-crowd --seeds 4 --workers 4")
 
 
 if __name__ == "__main__":

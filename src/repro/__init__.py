@@ -28,8 +28,13 @@ The package is organised as:
 ``repro.analysis``
     The Poisson playback-continuity theory of Section 5.1, gossip coverage
     formulas, the DHT routing-hop bound, and metric aggregation helpers.
+``repro.scenarios``
+    The scenario engine: declarative workload specs (churn schedules,
+    bandwidth-class mixes, loss rates), six built-in scenarios, and the
+    parallel multi-seed campaign runner with its unified results store.
 ``repro.experiments``
-    One module per paper table/figure plus a CLI runner.
+    One module per paper table/figure plus a CLI runner (including the
+    ``campaign`` command).
 """
 
 from __future__ import annotations
@@ -40,12 +45,24 @@ from repro.analysis.theory import (
 )
 from repro.core.config import SystemConfig
 from repro.core.system import StreamingSystem
+from repro.scenarios import (
+    CampaignRunner,
+    ResultsStore,
+    ScenarioSpec,
+    builtin_scenario,
+    run_campaign,
+)
 
 __all__ = [
     "SystemConfig",
     "StreamingSystem",
     "playback_continuity_old",
     "playback_continuity_new",
+    "ScenarioSpec",
+    "builtin_scenario",
+    "CampaignRunner",
+    "run_campaign",
+    "ResultsStore",
     "__version__",
 ]
 

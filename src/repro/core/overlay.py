@@ -75,6 +75,7 @@ class OverlayManager:
         self.churn = ChurnProcess(
             leave_fraction=config.leave_fraction,
             join_fraction=config.join_fraction,
+            schedule=config.churn_schedule,
         )
         self.hop_latency_s = 0.05
         self.fetch_time_s = 0.4

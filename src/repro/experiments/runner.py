@@ -13,6 +13,10 @@ Usage (installed as ``continustreaming-experiments``)::
     continustreaming-experiments ablations
     continustreaming-experiments all --scale small
 
+    # scenario campaigns (see docs/scenarios.md):
+    continustreaming-experiments campaign --scenario flash-crowd --seeds 4 --workers 4
+    continustreaming-experiments campaign --scenario my-spec.yaml --out results/
+
 ``--scale paper`` uses the paper's node counts (slow: thousands of nodes);
 ``--scale small`` (default) uses laptop-friendly sizes that preserve the
 qualitative shape.
@@ -29,6 +33,9 @@ from repro.experiments import fig3_dht, fig5_6_track, fig7_8_scale, fig9_control
 from repro.experiments import ablations as ablations_mod
 from repro.experiments import fig10_11_prefetch, table_theory
 
+#: Round count used when ``--rounds`` is not given.
+DEFAULT_ROUNDS = 30
+
 
 def _sizes_for(scale: str, paper: Sequence[int], small: Sequence[int]) -> List[int]:
     return list(paper if scale == "paper" else small)
@@ -36,6 +43,10 @@ def _sizes_for(scale: str, paper: Sequence[int], small: Sequence[int]) -> List[i
 
 def _default_nodes(scale: str) -> int:
     return 1000 if scale == "paper" else 200
+
+
+def _rounds(args: argparse.Namespace) -> int:
+    return DEFAULT_ROUNDS if args.rounds is None else args.rounds
 
 
 def cmd_fig3(args: argparse.Namespace) -> str:
@@ -50,7 +61,7 @@ def cmd_fig3(args: argparse.Namespace) -> str:
 
 def cmd_table(args: argparse.Namespace) -> str:
     nodes = args.nodes or _default_nodes(args.scale)
-    config = SystemConfig(num_nodes=nodes, rounds=args.rounds, seed=args.seed)
+    config = SystemConfig(num_nodes=nodes, rounds=_rounds(args), seed=args.seed)
     rows = table_theory.run_theory_table(config)
     measured = table_theory.format_theory_table(rows)
     reference = table_theory.format_theory_table(table_theory.paper_reference_rows())
@@ -60,7 +71,7 @@ def cmd_table(args: argparse.Namespace) -> str:
 def _track(args: argparse.Namespace, dynamic: bool) -> str:
     nodes = args.nodes or _default_nodes(args.scale)
     results = fig5_6_track.run_continuity_track(
-        num_nodes=nodes, rounds=args.rounds, dynamic=dynamic, seed=args.seed
+        num_nodes=nodes, rounds=_rounds(args), dynamic=dynamic, seed=args.seed
     )
     return fig5_6_track.format_track(results)
 
@@ -78,7 +89,7 @@ def _scale_sweep(args: argparse.Namespace, dynamic: bool) -> str:
         args.scale, fig7_8_scale.PAPER_SIZES, fig7_8_scale.SMALL_SIZES
     )
     points = fig7_8_scale.run_scale_sweep(
-        sizes=sizes, dynamic=dynamic, rounds=args.rounds, seed=args.seed
+        sizes=sizes, dynamic=dynamic, rounds=_rounds(args), seed=args.seed
     )
     return fig7_8_scale.format_scale_sweep(points)
 
@@ -96,7 +107,7 @@ def cmd_fig9(args: argparse.Namespace) -> str:
         args.scale, fig9_control.PAPER_SIZES, fig9_control.SMALL_SIZES
     )
     points = fig9_control.run_control_overhead(
-        sizes=sizes, rounds=args.rounds, seed=args.seed
+        sizes=sizes, rounds=_rounds(args), seed=args.seed
     )
     return fig9_control.format_control_overhead(points)
 
@@ -104,7 +115,7 @@ def cmd_fig9(args: argparse.Namespace) -> str:
 def cmd_fig10(args: argparse.Namespace) -> str:
     nodes = args.nodes or _default_nodes(args.scale)
     tracks = fig10_11_prefetch.run_prefetch_overhead_track(
-        num_nodes=nodes, rounds=args.rounds, seed=args.seed
+        num_nodes=nodes, rounds=_rounds(args), seed=args.seed
     )
     lines = []
     for label, track in tracks.items():
@@ -122,14 +133,14 @@ def cmd_fig11(args: argparse.Namespace) -> str:
         args.scale, fig10_11_prefetch.PAPER_SIZES, fig10_11_prefetch.SMALL_SIZES
     )
     points = fig10_11_prefetch.run_prefetch_overhead_scale(
-        sizes=sizes, rounds=args.rounds, seed=args.seed
+        sizes=sizes, rounds=_rounds(args), seed=args.seed
     )
     return fig10_11_prefetch.format_prefetch_scale(points)
 
 
 def cmd_ablations(args: argparse.Namespace) -> str:
     nodes = args.nodes or _default_nodes(args.scale)
-    config = SystemConfig(num_nodes=nodes, rounds=args.rounds, seed=args.seed)
+    config = SystemConfig(num_nodes=nodes, rounds=_rounds(args), seed=args.seed)
     sections = [
         ("priority / pre-fetch", ablations_mod.run_priority_ablation(config)),
         ("backup replicas k", ablations_mod.run_replica_ablation(base_config=config)),
@@ -144,6 +155,56 @@ def cmd_ablations(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_campaign(args: argparse.Namespace) -> str:
+    """Run a scenario × seed campaign across worker processes."""
+    from repro.scenarios import builtin_names, run_campaign
+
+    names = args.scenario or ["static", "paper-dynamic"]
+    results_path = None
+    summary_path = None
+    if args.out:
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        results_path = out_dir / "campaign_results.jsonl"
+        summary_path = out_dir / "campaign_summary.json"
+    try:
+        store = run_campaign(
+            names,
+            # The global --seed offsets the sweep: seeds seed..seed+N-1.
+            seeds=range(args.seed, args.seed + args.seeds),
+            node_counts=[args.nodes] if args.nodes else None,
+            rounds=args.rounds,
+            workers=args.workers,
+            results_path=results_path,
+        )
+    except (ValueError, RuntimeError) as exc:
+        # ValueError: bad scenario names/specs; RuntimeError: e.g. a YAML
+        # spec on an environment without PyYAML.
+        raise SystemExit(f"campaign error: {exc}") from exc
+    if summary_path is not None:
+        store.write_summary(summary_path)
+    lines = [
+        f"campaign: {len(store)} cells "
+        f"({args.seeds} seeds x {len(names)} scenarios, {args.workers} workers), "
+        f"total simulation time {store.total_wall_time_s():.2f}s",
+        "",
+        "per-seed results:",
+        store.format_results(),
+        "",
+        "aggregates (mean ± 95% CI over seeds):",
+        store.format_summary(),
+    ]
+    if args.out:
+        lines.append("")
+        lines.append(f"results written to {results_path} and {summary_path}")
+    else:
+        lines.append("")
+        lines.append(f"(built-in scenarios: {', '.join(builtin_names())}; "
+                     f"--out DIR persists JSONL + summary)")
+    return "\n".join(lines)
+
+
 COMMANDS = {
     "fig3": cmd_fig3,
     "table": cmd_table,
@@ -155,6 +216,7 @@ COMMANDS = {
     "fig10": cmd_fig10,
     "fig11": cmd_fig11,
     "ablations": cmd_ablations,
+    "campaign": cmd_campaign,
 }
 
 
@@ -166,7 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=[*COMMANDS.keys(), "all"],
-        help="which experiment to run ('all' runs every one)",
+        help="which experiment to run ('all' runs every figure/table experiment; "
+        "campaigns run only when asked for explicitly)",
     )
     parser.add_argument("--scale", choices=("small", "paper"), default="small",
                         help="node-count scale (default: small)")
@@ -174,18 +237,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the overlay size for single-size experiments")
     parser.add_argument("--sizes", type=int, nargs="*", default=None,
                         help="override the size sweep for sweep experiments")
-    parser.add_argument("--rounds", type=int, default=30,
-                        help="scheduling periods to simulate (default: 30)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help=f"scheduling periods to simulate (default: {DEFAULT_ROUNDS}; "
+                        "campaigns default to each scenario's own round count)")
     parser.add_argument("--lookups", type=int, default=2000,
                         help="random lookups per size for fig3 (default: 2000)")
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    campaign_group = parser.add_argument_group("campaign options")
+    campaign_group.add_argument(
+        "--scenario", nargs="*", default=None, metavar="NAME_OR_FILE",
+        help="scenarios to sweep: built-in names (see docs/scenarios.md) or "
+        "YAML/JSON spec files (default: static paper-dynamic)")
+    campaign_group.add_argument(
+        "--seeds", type=int, default=2,
+        help="number of sweep seeds per scenario, starting at --seed "
+        "(default: 2, i.e. seeds 0 and 1)")
+    campaign_group.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the campaign grid (default: 1 = serial)")
+    campaign_group.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory for campaign_results.jsonl + campaign_summary.json")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``continustreaming-experiments`` console script."""
     args = build_parser().parse_args(argv)
-    names = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        # Campaigns sweep a whole grid and are opt-in, not part of "all".
+        names = [name for name in COMMANDS if name != "campaign"]
+    else:
+        names = [args.experiment]
     for name in names:
         print(f"==== {name} ====")
         print(COMMANDS[name](args))

@@ -142,3 +142,126 @@ class BandwidthModel:
     def segments_per_s_to_kbps(rate: float, segment_bits: int = 30 * 1024) -> float:
         """Convert a rate in segments per second to Kbps."""
         return rate * segment_bits / 1000.0
+
+
+@dataclass(frozen=True)
+class BandwidthClass:
+    """One access-technology class of a heterogeneous swarm.
+
+    Rates are in segments per second, like everywhere else in the simulator.
+    ``min_outbound``/``max_outbound`` default to the inbound range
+    (symmetric access), which suits ethernet; asymmetric classes (cable,
+    DSL) set them explicitly.
+    """
+
+    name: str
+    fraction: float
+    min_inbound: float
+    max_inbound: float
+    min_outbound: Optional[float] = None
+    max_outbound: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.fraction <= 1.0):
+            raise ValueError(f"class {self.name!r}: fraction must be in (0, 1]")
+        if not (0.0 < self.min_inbound <= self.max_inbound):
+            raise ValueError(f"class {self.name!r}: need 0 < min_inbound <= max_inbound")
+        out_lo, out_hi = self.outbound_range
+        if not (0.0 < out_lo <= out_hi):
+            raise ValueError(f"class {self.name!r}: need 0 < min_outbound <= max_outbound")
+
+    @property
+    def outbound_range(self) -> "tuple[float, float]":
+        lo = self.min_inbound if self.min_outbound is None else self.min_outbound
+        hi = self.max_inbound if self.max_outbound is None else self.max_outbound
+        return (lo, hi)
+
+
+class ClassMixBandwidthModel(BandwidthModel):
+    """Bandwidth assignment from a mix of access-technology classes.
+
+    Each node is first assigned a class (ethernet / cable / dsl / ...)
+    according to the mix fractions, then draws its inbound and outbound
+    rates uniformly from that class's ranges — so a node's two rates are
+    correlated through its class, unlike the base model's independent
+    draws.  The scenario engine composes this into a run without core code
+    changes by swapping it onto the
+    :class:`~repro.core.overlay.OverlayManager` before ``build()``.
+    """
+
+    def __init__(
+        self,
+        classes: Iterable[BandwidthClass],
+        source_outbound: float = 100.0,
+    ) -> None:
+        class_list = tuple(classes)
+        if not class_list:
+            raise ValueError("need at least one bandwidth class")
+        total = sum(c.fraction for c in class_list)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"class fractions must sum to 1, got {total:.6f}")
+        min_rate = min(c.min_inbound for c in class_list)
+        max_rate = max(c.max_inbound for c in class_list)
+        mean_rate = sum(
+            c.fraction * (c.min_inbound + c.max_inbound) / 2.0 for c in class_list
+        )
+        super().__init__(
+            mean_rate=mean_rate,
+            min_rate=min_rate,
+            max_rate=max_rate,
+            heterogeneous=True,
+            source_outbound=source_outbound,
+        )
+        self.classes = class_list
+        self._cumulative = np.cumsum([c.fraction for c in class_list])
+        self._class_of: Dict[int, str] = {}
+
+    # ---------------------------------------------------------------- assignment
+    def _draw_class(self, rng: np.random.Generator) -> BandwidthClass:
+        index = int(np.searchsorted(self._cumulative, rng.random(), side="right"))
+        return self.classes[min(index, len(self.classes) - 1)]
+
+    def _assign_from_class(self, node_id: int, rng: np.random.Generator) -> NodeBandwidth:
+        klass = self._draw_class(rng)
+        inbound = float(rng.uniform(klass.min_inbound, klass.max_inbound))
+        out_lo, out_hi = klass.outbound_range
+        outbound = float(rng.uniform(out_lo, out_hi))
+        capacity = NodeBandwidth(inbound, outbound)
+        self._capacity[int(node_id)] = capacity
+        self._class_of[int(node_id)] = klass.name
+        return capacity
+
+    def assign(
+        self,
+        node_ids: Iterable[int],
+        rng: np.random.Generator,
+        source_id: Optional[int] = None,
+    ) -> None:
+        for node in node_ids:
+            self._assign_from_class(int(node), rng)
+        if source_id is not None:
+            self._capacity[int(source_id)] = NodeBandwidth(0.0, self.source_outbound)
+            self._class_of[int(source_id)] = "source"
+
+    def assign_one(self, node_id: int, rng: np.random.Generator) -> NodeBandwidth:
+        return self._assign_from_class(node_id, rng)
+
+    # ------------------------------------------------------------------ queries
+    def remove(self, node_id: int) -> None:
+        super().remove(node_id)
+        self._class_of.pop(node_id, None)
+
+    def class_name_of(self, node_id: int) -> str:
+        """The access class assigned to ``node_id``.
+
+        Raises:
+            KeyError: if the node has no assigned class.
+        """
+        return self._class_of[node_id]
+
+    def class_census(self) -> Dict[str, int]:
+        """How many currently assigned nodes each class holds."""
+        census: Dict[str, int] = {}
+        for name in self._class_of.values():
+            census[name] = census.get(name, 0) + 1
+        return census

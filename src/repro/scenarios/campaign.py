@@ -1,0 +1,210 @@
+"""The parallel campaign runner.
+
+A *campaign* fans a scenario × system × node-count × seed grid across
+``multiprocessing`` workers and collects every cell's metrics into a
+:class:`~repro.scenarios.results.ResultsStore`.  Three properties matter:
+
+* **Deterministic per-cell seeding** — each cell's root seed is derived
+  from ``(sweep seed, scenario, node count)`` via the same SHA-256
+  construction the per-component RNG streams use
+  (:func:`repro.sim.rng.derive_seed`), so cell results depend only on the
+  cell's coordinates, never on scheduling order or worker count.  The
+  protocol is deliberately excluded so systems sweeping the same cell are
+  paired on identical topology/bandwidth/churn (see :func:`cell_seed_for`).
+* **Parallel == serial** — workers receive self-contained, picklable cell
+  payloads (the scenario's dict form) and return plain records; the parent
+  reassembles them in grid order, so a 4-worker campaign produces
+  byte-identical aggregated metrics to a serial one.
+* **Streaming results** — cells are appended to the store (and its JSONL
+  file) as the grid completes, per-seed first, aggregates afterwards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.scenarios.results import CellResult, ResultsStore
+from repro.scenarios.spec import ScenarioSpec, load_scenarios
+from repro.sim.rng import derive_seed
+
+
+def cell_seed_for(seed: int, scenario: str, num_nodes: int) -> int:
+    """The deterministic root seed of one campaign cell.
+
+    Deliberately independent of the protocol: two systems sweeping the same
+    (seed, scenario, node count) share a root seed and therefore see the
+    same topology, bandwidth assignment and churn schedule — the paired
+    A/B methodology the rest of the repo uses (see ``run_comparison``), so
+    continuity deltas isolate the protocol rather than topology variance.
+    """
+    return derive_seed(seed, f"campaign/{scenario}/n{num_nodes}")
+
+
+def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Execute one campaign cell; top-level so worker processes can pickle it.
+
+    The payload is self-contained: the scenario's dict form plus the cell
+    coordinates.  Returns the :meth:`CellResult.to_record` dict.
+    """
+    spec = ScenarioSpec.from_dict(payload["scenario"]).scaled(
+        num_nodes=payload["num_nodes"],
+        rounds=payload["rounds"],
+        seed=payload["cell_seed"],
+        system=payload["system"],
+    )
+    start = time.perf_counter()
+    result = spec.run()
+    wall_time = time.perf_counter() - start
+    series = result.continuity_series()
+    metrics = {
+        "stable_continuity": float(result.stable_continuity()),
+        "mean_continuity": float(sum(series) / len(series)) if series else 0.0,
+        "final_continuity": float(series[-1]) if series else 0.0,
+        "prefetch_overhead": float(result.prefetch_overhead()),
+        "control_overhead": float(result.control_overhead()),
+        "nodes_joined": float(sum(r.nodes_joined for r in result.rounds)),
+        "nodes_left": float(sum(r.nodes_left for r in result.rounds)),
+    }
+    return CellResult(
+        scenario=payload["scenario"]["name"],
+        system=payload["system"],
+        num_nodes=payload["num_nodes"],
+        seed=payload["seed"],
+        cell_seed=payload["cell_seed"],
+        rounds=payload["rounds"],
+        metrics=metrics,
+        wall_time_s=wall_time,
+    ).to_record()
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The grid one campaign sweeps.
+
+    Attributes:
+        scenarios: the scenario specs to run.
+        seeds: sweep seeds; each becomes one cell per grid point.
+        node_counts: overlay sizes; ``None`` uses each scenario's own.
+        systems: protocol names; ``None`` uses each scenario's own.
+        rounds: round-count override; ``None`` uses each scenario's own.
+    """
+
+    scenarios: Tuple[ScenarioSpec, ...]
+    seeds: Tuple[int, ...] = (0,)
+    node_counts: Optional[Tuple[int, ...]] = None
+    systems: Optional[Tuple[str, ...]] = None
+    rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        names = [scenario.name for scenario in self.scenarios]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            # Per-cell seeds and result groups key on the scenario name, so
+            # two different workloads sharing a name would silently merge.
+            raise ValueError(
+                f"duplicate scenario names in campaign: {duplicates}; "
+                f"rename the specs so results and seeds stay distinguishable"
+            )
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if self.node_counts is not None:
+            object.__setattr__(
+                self, "node_counts", tuple(int(n) for n in self.node_counts)
+            )
+        if self.systems is not None:
+            object.__setattr__(self, "systems", tuple(self.systems))
+
+    def cell_payloads(self) -> List[Dict[str, Any]]:
+        """Every cell of the grid, in deterministic grid order."""
+        payloads: List[Dict[str, Any]] = []
+        for scenario in self.scenarios:
+            scenario_dict = scenario.to_dict()
+            systems = self.systems or (scenario.system,)
+            node_counts = self.node_counts or (scenario.num_nodes,)
+            rounds = scenario.rounds if self.rounds is None else self.rounds
+            for system in systems:
+                for num_nodes in node_counts:
+                    for seed in self.seeds:
+                        payloads.append(
+                            {
+                                "scenario": scenario_dict,
+                                "system": system,
+                                "num_nodes": num_nodes,
+                                "rounds": rounds,
+                                "seed": seed,
+                                "cell_seed": cell_seed_for(
+                                    seed, scenario.name, num_nodes
+                                ),
+                            }
+                        )
+        return payloads
+
+
+class CampaignRunner:
+    """Runs a :class:`CampaignSpec` across ``workers`` processes.
+
+    Args:
+        campaign: the grid to sweep.
+        workers: worker processes; ``1`` runs serially in-process (no
+            multiprocessing involved), which is also the fallback for
+            single-cell grids.
+    """
+
+    def __init__(self, campaign: CampaignSpec, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.campaign = campaign
+        self.workers = workers
+
+    def run(self, store: Optional[ResultsStore] = None) -> ResultsStore:
+        """Sweep the grid and return the populated results store.
+
+        Cells are appended to the store (and its JSONL file) as they
+        complete — in grid order either way, so an interrupted campaign
+        keeps its finished prefix and a finished one is identical
+        regardless of worker count.
+        """
+        payloads = self.campaign.cell_payloads()
+        store = store if store is not None else ResultsStore()
+        if self.workers > 1 and len(payloads) > 1:
+            processes = min(self.workers, len(payloads))
+            with multiprocessing.get_context().Pool(processes=processes) as pool:
+                for record in pool.imap(run_cell, payloads):
+                    store.append(CellResult.from_record(record))
+        else:
+            for payload in payloads:
+                store.append(CellResult.from_record(run_cell(payload)))
+        return store
+
+
+def run_campaign(
+    scenarios: Sequence[Union[str, Path, ScenarioSpec]],
+    seeds: Sequence[int] = (0,),
+    node_counts: Optional[Sequence[int]] = None,
+    systems: Optional[Sequence[str]] = None,
+    rounds: Optional[int] = None,
+    workers: int = 1,
+    results_path: Optional[Union[str, Path]] = None,
+) -> ResultsStore:
+    """Convenience wrapper: resolve scenarios, build the grid, run it.
+
+    ``scenarios`` may mix :class:`ScenarioSpec` objects, spec file paths
+    and built-in scenario names.
+    """
+    campaign = CampaignSpec(
+        scenarios=load_scenarios(scenarios),
+        seeds=tuple(seeds),
+        node_counts=None if node_counts is None else tuple(node_counts),
+        systems=None if systems is None else tuple(systems),
+        rounds=rounds,
+    )
+    store = ResultsStore(path=results_path)
+    return CampaignRunner(campaign, workers=workers).run(store)

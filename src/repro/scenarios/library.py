@@ -1,0 +1,128 @@
+"""The built-in scenario library.
+
+Six named workloads cover the paper's two evaluation environments plus the
+stress axes the related work motivates — flash crowds and diurnal audience
+waves (live events), massive correlated failures (CliqueStream's clustered
+fault-resilience stress), and heterogeneous access-technology swarms
+(Mykoniati et al.).  Each is an ordinary :class:`ScenarioSpec`: scale it
+with :meth:`~repro.scenarios.spec.ScenarioSpec.scaled`, or use it as a
+starting point for a custom YAML/JSON spec (``builtin_scenario(name)
+.to_file("my.json")``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.net.bandwidth import BandwidthClass
+from repro.net.churn import (
+    BlackoutChurn,
+    ConstantChurn,
+    DiurnalChurn,
+    FlashCrowdChurn,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+#: 20% ethernet / 50% cable / 30% DSL, in segments/s.  The weighted mean
+#: uplink stays near the paper's 15 segments/s so the swarm remains
+#: supply-feasible; the class spread is what changes.
+HETERO_SWARM_CLASSES: Tuple[BandwidthClass, ...] = (
+    BandwidthClass(name="ethernet", fraction=0.2, min_inbound=25.0, max_inbound=33.0),
+    BandwidthClass(
+        name="cable",
+        fraction=0.5,
+        min_inbound=14.0,
+        max_inbound=25.0,
+        min_outbound=10.0,
+        max_outbound=16.0,
+    ),
+    BandwidthClass(
+        name="dsl",
+        fraction=0.3,
+        min_inbound=10.0,
+        max_inbound=14.0,
+        min_outbound=8.0,
+        max_outbound=12.0,
+    ),
+)
+
+BUILTIN_SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="static",
+            description="The paper's static environment: fixed membership, "
+            "uniform heterogeneous bandwidth.",
+        ),
+        ScenarioSpec(
+            name="paper-dynamic",
+            description="The paper's dynamic environment: 5% of nodes leave "
+            "and 5% join every scheduling period.",
+            churn=ConstantChurn(leave_fraction=0.05, join_fraction=0.05),
+        ),
+        ScenarioSpec(
+            name="flash-crowd",
+            description="A live event goes viral: a 25%-per-round join spike "
+            "for 3 rounds, then an elevated-leave drain.",
+            churn=FlashCrowdChurn(
+                base_leave_fraction=0.01,
+                base_join_fraction=0.01,
+                spike_round=5,
+                spike_duration=3,
+                spike_join_fraction=0.25,
+                drain_duration=5,
+                drain_leave_fraction=0.08,
+            ),
+        ),
+        ScenarioSpec(
+            name="diurnal",
+            description="A daily audience wave compressed into 20 rounds: "
+            "joins and leaves move in anti-phase, so the audience swells "
+            "and ebbs once per cycle.",
+            churn=DiurnalChurn(
+                base_leave_fraction=0.04,
+                base_join_fraction=0.04,
+                amplitude=0.75,
+                period_rounds=20,
+            ),
+        ),
+        ScenarioSpec(
+            name="blackout",
+            description="A massive correlated failure: 30% of the overlay "
+            "vanishes in one round, then the audience reconnects.",
+            churn=BlackoutChurn(
+                base_leave_fraction=0.01,
+                base_join_fraction=0.01,
+                blackout_round=10,
+                failure_fraction=0.30,
+                recovery_duration=4,
+                recovery_join_fraction=0.08,
+            ),
+        ),
+        ScenarioSpec(
+            name="hetero-swarm",
+            description="Heterogeneous access technologies (20% ethernet / "
+            "50% cable / 30% DSL) on a mildly lossy network.",
+            bandwidth_classes=HETERO_SWARM_CLASSES,
+            loss_rate=0.02,
+        ),
+    )
+}
+
+
+def builtin_names() -> Tuple[str, ...]:
+    """The built-in scenario names, in definition order."""
+    return tuple(BUILTIN_SCENARIOS)
+
+
+def builtin_scenario(name: str) -> ScenarioSpec:
+    """The built-in scenario registered under ``name``.
+
+    Raises:
+        ValueError: for unknown names (lists the known ones).
+    """
+    spec = BUILTIN_SCENARIOS.get(name)
+    if spec is None:
+        known = ", ".join(builtin_names())
+        raise ValueError(f"unknown scenario {name!r}; built-in scenarios: {known}")
+    return spec

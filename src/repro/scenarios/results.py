@@ -1,0 +1,198 @@
+"""The unified results store for scenario campaigns.
+
+Every campaign cell (scenario × system × node count × seed) produces one
+:class:`CellResult`; a :class:`ResultsStore` collects them, optionally
+streaming each as a JSONL line to disk, and aggregates per-group summary
+statistics (mean / std / min / max / 95% CI) over seeds.
+
+Wall-clock time is recorded per cell for capacity planning but kept *out*
+of the aggregated metric summary, so a campaign's summary is byte-identical
+regardless of worker count or machine speed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.metrics import summarize_runs
+
+#: The metric names every cell reports, in output order.
+METRIC_NAMES: Tuple[str, ...] = (
+    "stable_continuity",
+    "mean_continuity",
+    "final_continuity",
+    "prefetch_overhead",
+    "control_overhead",
+    "nodes_joined",
+    "nodes_left",
+)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The metrics of one campaign cell.
+
+    Attributes:
+        scenario: the scenario name the cell ran.
+        system: the protocol name.
+        num_nodes: the overlay size.
+        seed: the sweep seed the user asked for.
+        cell_seed: the derived root seed the simulation actually used.
+        rounds: scheduling periods simulated.
+        metrics: named scalar results (see :data:`METRIC_NAMES`).
+        wall_time_s: wall-clock seconds the cell took (not aggregated).
+    """
+
+    scenario: str
+    system: str
+    num_nodes: int
+    seed: int
+    cell_seed: int
+    rounds: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def group_key(self) -> str:
+        """The aggregation group this cell belongs to."""
+        return f"{self.scenario}/{self.system}/n{self.num_nodes}"
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-safe dict form; inverse of :meth:`from_record`."""
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "CellResult":
+        data = dict(record)
+        data["metrics"] = {k: float(v) for k, v in dict(data["metrics"]).items()}
+        return cls(**data)
+
+
+class ResultsStore:
+    """Collects campaign cell results and aggregates them.
+
+    Args:
+        path: optional JSONL file; when given, every appended cell is
+            written as one line immediately (so a long campaign's partial
+            results survive an interruption).  An existing file is
+            truncated — a store represents one campaign run.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._results: List[CellResult] = []
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("", encoding="utf-8")
+
+    # ------------------------------------------------------------------ recording
+    def append(self, result: CellResult) -> None:
+        """Record one cell result (and stream it to the JSONL file)."""
+        self._results.append(result)
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(result.to_record(), sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self._results)
+
+    @property
+    def results(self) -> Tuple[CellResult, ...]:
+        return tuple(self._results)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ResultsStore":
+        """Rebuild an in-memory store from a JSONL file (without re-writing it)."""
+        store = cls()
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line:
+                store._results.append(CellResult.from_record(json.loads(line)))
+        return store
+
+    # ---------------------------------------------------------------- aggregation
+    def summary(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-group aggregate statistics over seeds.
+
+        Returns a mapping ``group_key -> metric -> {mean, std, min, max,
+        count, ci95}`` where ``std`` is the population standard deviation
+        (matching :func:`~repro.analysis.metrics.summarize_runs`) and
+        ``ci95`` is the normal-approximation 95% confidence half-width
+        ``1.96 · s / sqrt(count)`` computed from the *sample* standard
+        deviation ``s`` (ddof=1) — at the small seed counts campaigns use,
+        the population std would understate the interval.  Groups and
+        metrics are sorted, so equal inputs serialise byte-identically.
+        """
+        groups: Dict[str, List[CellResult]] = {}
+        for result in self._results:
+            groups.setdefault(result.group_key, []).append(result)
+        summary: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for key in sorted(groups):
+            cells = groups[key]
+            metric_names = sorted({name for cell in cells for name in cell.metrics})
+            per_metric: Dict[str, Dict[str, float]] = {}
+            for metric in metric_names:
+                values = [cell.metrics[metric] for cell in cells if metric in cell.metrics]
+                stats = summarize_runs(values)
+                count = stats["count"]
+                if count > 1:
+                    sample_std = stats["std"] * math.sqrt(count / (count - 1.0))
+                    stats["ci95"] = 1.96 * sample_std / math.sqrt(count)
+                else:
+                    stats["ci95"] = 0.0
+                per_metric[metric] = stats
+            summary[key] = per_metric
+        return summary
+
+    def total_wall_time_s(self) -> float:
+        """Sum of per-cell wall-clock seconds (CPU cost, not elapsed time)."""
+        return float(sum(result.wall_time_s for result in self._results))
+
+    def write_summary(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`summary` as pretty-printed, key-sorted JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.summary(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    # ------------------------------------------------------------------ rendering
+    def format_results(self) -> str:
+        """Per-cell lines (the campaign CLI's per-seed output)."""
+        lines = []
+        for result in self._results:
+            metrics = result.metrics
+            lines.append(
+                f"{result.group_key} seed={result.seed}: "
+                f"continuity {metrics.get('stable_continuity', float('nan')):.4f} "
+                f"(mean {metrics.get('mean_continuity', float('nan')):.4f}), "
+                f"prefetch overhead {metrics.get('prefetch_overhead', float('nan')):.4f}, "
+                f"+{metrics.get('nodes_joined', 0):.0f}/-{metrics.get('nodes_left', 0):.0f} nodes, "
+                f"{result.wall_time_s:.2f}s"
+            )
+        return "\n".join(lines)
+
+    def format_summary(self) -> str:
+        """Aggregate table: one line per group, mean ± CI for key metrics."""
+        lines = []
+        for key, metrics in self.summary().items():
+            parts = []
+            for metric in ("stable_continuity", "prefetch_overhead", "control_overhead"):
+                stats = metrics.get(metric)
+                if stats is None:
+                    continue
+                parts.append(
+                    f"{metric} {stats['mean']:.4f} ± {stats['ci95']:.4f}"
+                )
+            count = next(iter(metrics.values()))["count"] if metrics else 0
+            lines.append(f"{key} ({count:.0f} seeds): " + ", ".join(parts))
+        return "\n".join(lines)

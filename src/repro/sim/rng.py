@@ -19,10 +19,18 @@ from typing import Dict, Optional
 import numpy as np
 
 
-def _derive_seed(root_seed: int, name: str) -> int:
-    """Derive a 63-bit child seed from ``(root_seed, name)`` via SHA-256."""
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 63-bit child seed from ``(root_seed, name)`` via SHA-256.
+
+    Deterministic and platform-independent, so both the per-component RNG
+    streams and the campaign runner's per-cell seeds reproduce exactly.
+    """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+#: Backwards-compatible alias (the helper predates its public use).
+_derive_seed = derive_seed
 
 
 def spawn_generator(root_seed: int, name: str) -> np.random.Generator:

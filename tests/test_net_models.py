@@ -194,6 +194,23 @@ class TestChurnProcess:
         with pytest.raises(ValueError):
             ChurnProcess(join_fraction=-0.1)
 
+    def test_join_fraction_upper_bound(self):
+        with pytest.raises(ValueError, match="join_fraction"):
+            ChurnProcess(join_fraction=1.5)
+        # Exactly a population doubling per round is the permitted maximum.
+        assert ChurnProcess(join_fraction=1.0).join_fraction == 1.0
+
+    def test_protected_population_mismatch_rejected(self, rng):
+        churn = ChurnProcess(leave_fraction=0.1, protected={99})
+        with pytest.raises(ValueError, match="protected node ids \\[99\\]"):
+            churn.step(0, [0, 1, 2, 3], rng)
+
+    def test_static_process_skips_protected_check(self, rng):
+        # A static process never mutates membership, so a stale protected
+        # set is harmless and must not raise.
+        churn = ChurnProcess(protected={99})
+        assert churn.step(0, [0, 1, 2], rng).is_empty
+
     def test_leave_and_join_counts(self, rng):
         churn = ChurnProcess(leave_fraction=0.1, join_fraction=0.1, next_node_id=1000)
         event = churn.step(0, list(range(100)), rng)
