@@ -1,0 +1,74 @@
+"""Live-runtime throughput benchmark — wall-clock messages/sec vs swarm size.
+
+Runs the ``static`` scenario as a real asyncio swarm at several sizes with
+an aggressive time scale (the swarm runs essentially as fast as the event
+loop can move frames) and emits ``BENCH_runtime.json``: wire messages per
+wall second, delivered segments per wall second, and the stable continuity
+each swarm still reached.  This artifact seeds the runtime performance
+trajectory — future event-loop, codec or transport optimisations must move
+``messages_per_s`` up without dropping ``stable_continuity``.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled, write_bench_artifact
+
+from repro.runtime import LiveSwarm
+from repro.scenarios import builtin_scenario
+
+#: Swarm sizes benchmarked; {50, 200} are the sizes CI tracks.
+SMALL_SIZES = [50, 200]
+PAPER_SIZES = [50, 200, 400]
+
+#: Rounds per swarm — enough for steady-state traffic, short enough for CI.
+SMALL_ROUNDS = 12
+PAPER_ROUNDS = 30
+
+
+def _run_one(num_nodes: int, rounds: int):
+    spec = builtin_scenario("static").scaled(num_nodes=num_nodes, rounds=rounds)
+    # Push the clock: ~25 ms of wall time per simulated second at 50 peers,
+    # growing with swarm size so bigger swarms are not starved into
+    # overrun-dominated measurements.
+    time_scale = 0.0005 * num_nodes
+    return LiveSwarm(spec, time_scale=time_scale).run()
+
+
+def test_bench_runtime(benchmark):
+    sizes = scaled(SMALL_SIZES, PAPER_SIZES)
+    rounds = scaled(SMALL_ROUNDS, PAPER_ROUNDS)
+
+    def sweep():
+        return {size: _run_one(size, rounds) for size in sizes}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    artifact = {}
+    for size, result in results.items():
+        artifact[str(size)] = {
+            "rounds": result.rounds,
+            "time_scale": result.time_scale,
+            "wall_time_s": round(result.wall_time_s, 4),
+            "messages_sent": result.messages_sent,
+            "messages_per_s": round(result.messages_per_wall_second(), 1),
+            "segments_delivered": result.segments_delivered(),
+            "segments_per_s": round(result.segments_per_wall_second(), 1),
+            "stable_continuity": round(result.stable_continuity(), 4),
+            "control_overhead": round(result.control_overhead(), 4),
+            "prefetch_overhead": round(result.prefetch_overhead(), 4),
+        }
+    path = write_bench_artifact("runtime", artifact)
+
+    lines = [
+        f"n={size}: {entry['messages_per_s']:.0f} msg/s, "
+        f"{entry['segments_per_s']:.0f} seg/s, "
+        f"continuity {entry['stable_continuity']:.3f}"
+        for size, entry in artifact.items()
+    ]
+    print("\n" + "\n".join(lines) + f"\nartifact: {path}")
+
+    for size, entry in artifact.items():
+        # the swarm must actually stream and move real traffic
+        assert entry["messages_per_s"] > 0, size
+        assert entry["segments_delivered"] > 0, size
+        assert entry["stable_continuity"] > 0.0, size

@@ -7,6 +7,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.net.message import MessageLedger
+
 
 @dataclass(frozen=True)
 class ExperimentRecord:
@@ -48,6 +50,25 @@ def summarize_runs(values: Iterable[float]) -> Dict[str, float]:
         "max": float(data.max()),
         "count": float(data.size),
     }
+
+
+def summarize_ledger(ledger: MessageLedger) -> Dict[str, float]:
+    """Named scalar facts of one traffic ledger.
+
+    One flat dict per ledger — bits and message counts per kind plus the
+    paper's two overhead ratios — shared by the live-runtime CLI, the
+    runtime benchmarks and ad-hoc analysis so every surface reports the
+    same numbers under the same names.
+    """
+    summary: Dict[str, float] = {}
+    for kind in ledger.bits:
+        summary[f"bits_{kind.value}"] = float(ledger.bits_of(kind))
+        summary[f"count_{kind.value}"] = float(ledger.count_of(kind))
+    summary["total_bits"] = ledger.total_bits()
+    summary["total_messages"] = float(ledger.total_count())
+    summary["control_overhead"] = float(ledger.control_overhead())
+    summary["prefetch_overhead"] = float(ledger.prefetch_overhead())
+    return summary
 
 
 def moving_average(series: Sequence[float], window: int) -> List[float]:

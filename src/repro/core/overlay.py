@@ -295,14 +295,31 @@ class OverlayManager:
         return sorted(ids)
 
     # ======================================================== churn-time surgery
-    def remove_node(self, node_id: int, rng: np.random.Generator) -> None:
-        """Take ``node_id`` out of the overlay (graceful or abrupt)."""
+    def remove_node(
+        self,
+        node_id: int,
+        rng: np.random.Generator,
+        graceful: Optional[bool] = None,
+        handover: bool = True,
+    ) -> None:
+        """Take ``node_id`` out of the overlay (graceful or abrupt).
+
+        Args:
+            node_id: the departing node.
+            rng: random stream deciding graceful vs abrupt when ``graceful``
+                is ``None`` (the simulator's path).
+            graceful: force the departure kind instead of drawing it.
+            handover: perform the graceful-leave backup handover in-memory.
+                The live runtime passes ``False`` because its peers ship the
+                handover as a wire message before the removal.
+        """
         node = self.nodes.get(node_id)
         if node is None or not node.alive or node_id == self.source_id:
             return
-        graceful = rng.random() >= self.config.abrupt_leave_fraction
-        if graceful and isinstance(node, ContinuStreamingNode):
-            successor = self._counter_clockwise_closest(node_id)
+        if graceful is None:
+            graceful = rng.random() >= self.config.abrupt_leave_fraction
+        if graceful and handover and isinstance(node, ContinuStreamingNode):
+            successor = self.counter_clockwise_closest(node_id)
             if successor is not None:
                 succ_node = self.nodes.get(successor)
                 if isinstance(succ_node, ContinuStreamingNode):
@@ -316,7 +333,7 @@ class OverlayManager:
         # Other nodes purge it lazily through the overhearing service's
         # is_alive checks during neighbour repair and routing.
 
-    def _counter_clockwise_closest(self, node_id: int) -> Optional[int]:
+    def counter_clockwise_closest(self, node_id: int) -> Optional[int]:
         """The alive node counter-clockwise closest to ``node_id``."""
         best: Optional[int] = None
         best_dist: Optional[int] = None

@@ -17,6 +17,10 @@ Usage (installed as ``continustreaming-experiments``)::
     continustreaming-experiments campaign --scenario flash-crowd --seeds 4 --workers 4
     continustreaming-experiments campaign --scenario my-spec.yaml --out results/
 
+    # live asyncio runtime (see docs/runtime.md):
+    continustreaming-experiments runtime --scenario static --nodes 50 --rounds 20
+    continustreaming-experiments runtime --parity --nodes 200 --rounds 60 --time-scale 0.5
+
 ``--scale paper`` uses the paper's node counts (slow: thousands of nodes);
 ``--scale small`` (default) uses laptop-friendly sizes that preserve the
 qualitative shape.
@@ -195,6 +199,8 @@ def cmd_campaign(args: argparse.Namespace) -> str:
         "aggregates (mean ± 95% CI over seeds):",
         store.format_summary(),
     ]
+    if not store.is_complete:
+        lines.insert(1, store.format_incomplete())
     if args.out:
         lines.append("")
         lines.append(f"results written to {results_path} and {summary_path}")
@@ -202,7 +208,70 @@ def cmd_campaign(args: argparse.Namespace) -> str:
         lines.append("")
         lines.append(f"(built-in scenarios: {', '.join(builtin_names())}; "
                      f"--out DIR persists JSONL + summary)")
-    return "\n".join(lines)
+    out = "\n".join(lines)
+    if not store.is_complete:
+        # The partial results are flushed and reported above, but an
+        # aborted campaign must still fail the invocation (CI smoke steps
+        # rely on the exit code).
+        print(out)
+        raise SystemExit(f"campaign incomplete: {store.incomplete_reason}")
+    return out
+
+
+def cmd_runtime(args: argparse.Namespace) -> str:
+    """Run a scenario as a live asyncio swarm (see docs/runtime.md)."""
+    from repro.analysis.metrics import summarize_ledger
+    from repro.runtime import DEFAULT_TIME_SCALE, LiveSwarm, run_parity
+    from repro.scenarios import load_scenarios
+
+    names = args.scenario or ["static"]
+    if len(names) > 1:
+        raise SystemExit(
+            f"runtime runs one scenario per invocation, got {len(names)}: "
+            f"{' '.join(names)} (campaigns sweep multiple scenarios)"
+        )
+    try:
+        (spec,) = load_scenarios(names)
+    except (ValueError, RuntimeError) as exc:
+        raise SystemExit(f"runtime error: {exc}") from exc
+    nodes = args.nodes or 50
+    rounds = args.rounds or 20
+    time_scale = DEFAULT_TIME_SCALE if args.time_scale is None else args.time_scale
+    if args.parity:
+        report = run_parity(
+            spec, num_nodes=nodes, rounds=rounds, seed=args.seed,
+            time_scale=time_scale,
+        )
+        continuity = report.runtime_stable_continuity
+        out = report.formatted()
+    else:
+        spec = spec.scaled(num_nodes=nodes, rounds=rounds, seed=args.seed)
+        result = LiveSwarm(spec, time_scale=time_scale).run()
+        continuity = result.stable_continuity()
+        ledger = summarize_ledger(result.ledger)
+        lines = [
+            f"runtime {spec.name} n={nodes} rounds={rounds} "
+            f"time_scale={time_scale} ({spec.system}):",
+            f"  stable continuity {continuity:.4f}  "
+            f"(final {result.continuity_series()[-1]:.4f})",
+            f"  control overhead {ledger['control_overhead']:.4f}, "
+            f"prefetch overhead {ledger['prefetch_overhead']:.4f}",
+            f"  {result.messages_sent} wire messages "
+            f"({result.messages_per_wall_second():.0f}/s wall), "
+            f"{result.segments_delivered()} segments "
+            f"({result.segments_per_wall_second():.0f}/s wall)",
+            f"  peers +{result.peers_joined}/-{result.peers_left}, "
+            f"{result.messages_dropped} frames dropped, "
+            f"wall {result.wall_time_s:.2f}s",
+        ]
+        out = "\n".join(lines)
+    if args.assert_continuity is not None and continuity < args.assert_continuity:
+        print(out)
+        raise SystemExit(
+            f"runtime stable continuity {continuity:.4f} is below the "
+            f"required {args.assert_continuity}"
+        )
+    return out
 
 
 COMMANDS = {
@@ -217,7 +286,11 @@ COMMANDS = {
     "fig11": cmd_fig11,
     "ablations": cmd_ablations,
     "campaign": cmd_campaign,
+    "runtime": cmd_runtime,
 }
+
+#: Commands that sweep grids or run live swarms; excluded from ``all``.
+_EXCLUDED_FROM_ALL = ("campaign", "runtime")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -258,6 +331,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_group.add_argument(
         "--out", default=None, metavar="DIR",
         help="directory for campaign_results.jsonl + campaign_summary.json")
+    runtime_group = parser.add_argument_group("runtime options")
+    runtime_group.add_argument(
+        "--time-scale", type=float, default=None, metavar="S",
+        help="wall seconds per simulated second for the live runtime "
+        "(default: 0.1; raise it if a large swarm's periods overrun)")
+    runtime_group.add_argument(
+        "--parity", action="store_true",
+        help="run the sim-vs-runtime parity harness instead of a single swarm")
+    runtime_group.add_argument(
+        "--assert-continuity", type=float, default=None, metavar="X",
+        help="exit non-zero unless the runtime's stable continuity reaches X "
+        "(used by the CI runtime smoke step)")
     return parser
 
 
@@ -265,8 +350,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``continustreaming-experiments`` console script."""
     args = build_parser().parse_args(argv)
     if args.experiment == "all":
-        # Campaigns sweep a whole grid and are opt-in, not part of "all".
-        names = [name for name in COMMANDS if name != "campaign"]
+        # Campaigns and live swarms are opt-in, not part of "all".
+        names = [name for name in COMMANDS if name not in _EXCLUDED_FROM_ALL]
     else:
         names = [args.experiment]
     for name in names:

@@ -85,14 +85,41 @@ class MessageLedger:
         extra = self.bits[MessageKind.DHT_ROUTING] + self.bits[MessageKind.DATA_PREFETCH]
         return extra / data
 
+    def total_bits(self) -> float:
+        """Total bits recorded across every message kind."""
+        return float(sum(self.bits.values()))
+
+    def total_count(self) -> int:
+        """Total messages recorded across every message kind."""
+        return int(sum(self.counts.values()))
+
     def merge(self, other: "MessageLedger") -> None:
-        """Fold another ledger's counters into this one."""
+        """Fold another ledger's counters into this one.
+
+        This is how concurrently accumulated per-peer ledgers (one per
+        :class:`~repro.runtime.peer.LivePeer`, no shared mutable state) are
+        reduced into a swarm-wide ledger: merging is commutative and
+        associative, so the reduction order never changes the totals.
+        """
         for kind in MessageKind:
             self.bits[kind] += other.bits[kind]
             self.counts[kind] += other.counts[kind]
 
+    @classmethod
+    def merged(cls, ledgers: "list[MessageLedger] | tuple[MessageLedger, ...]") -> "MessageLedger":
+        """A fresh ledger holding the sum of ``ledgers`` (inputs untouched)."""
+        total = cls()
+        for ledger in ledgers:
+            total.merge(ledger)
+        return total
+
     def snapshot(self) -> "MessageLedger":
-        """Deep copy of the current counters."""
+        """Deep copy of the current counters.
+
+        The snapshot is detached: later :meth:`record` calls on the live
+        ledger never show through, so a collector can difference or merge
+        snapshots while the owning peer keeps recording.
+        """
         clone = MessageLedger()
         clone.bits = dict(self.bits)
         clone.counts = dict(self.counts)

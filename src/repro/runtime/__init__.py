@@ -1,0 +1,66 @@
+"""The live asyncio runtime: real concurrent peers over a wire protocol.
+
+Where :mod:`repro.core.system` clocks the protocol in lock-step rounds on
+a discrete-event engine, this package runs the same protocol logic as a
+swarm of independent asyncio tasks exchanging length-prefixed binary
+frames over in-process loopback transports:
+
+* :mod:`repro.runtime.wire` — the codec for the full message vocabulary
+  (buffer maps, segment transfers, DHT routing/lookup, membership
+  PING/PONG and backup handover), with ledger accounting reconciled
+  against the paper's Section 5.4 message sizes;
+* :mod:`repro.runtime.peer` — :class:`~repro.runtime.peer.LivePeer`, the
+  actor adapting :class:`~repro.core.node.StreamingNode` to an
+  event-driven inbox with per-link latency and send-budget pacing;
+* :mod:`repro.runtime.swarm` — :class:`~repro.runtime.swarm.LiveSwarm`,
+  the orchestrator booting a scenario's peers, driving live churn and
+  collecting continuity/overhead metrics;
+* :mod:`repro.runtime.parity` — the sim-vs-runtime parity harness.
+
+This is the layer future deployment work (real sockets across processes
+and hosts, backpressure, sharding) plugs into; see ``docs/runtime.md``.
+"""
+
+from repro.runtime.parity import ParityReport, run_parity
+from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm, RuntimeResult, run_swarm
+from repro.runtime.wire import (
+    BufferMapMsg,
+    DhtLookup,
+    DhtResponse,
+    FrameDecoder,
+    Handover,
+    Ping,
+    Pong,
+    SegmentData,
+    SegmentRequest,
+    TruncatedFrameError,
+    WireError,
+    WireKind,
+    decode,
+    encode,
+    ledger_entry,
+)
+
+__all__ = [
+    "BufferMapMsg",
+    "DEFAULT_TIME_SCALE",
+    "DhtLookup",
+    "DhtResponse",
+    "FrameDecoder",
+    "Handover",
+    "LiveSwarm",
+    "ParityReport",
+    "Ping",
+    "Pong",
+    "RuntimeResult",
+    "SegmentData",
+    "SegmentRequest",
+    "TruncatedFrameError",
+    "WireError",
+    "WireKind",
+    "decode",
+    "encode",
+    "ledger_entry",
+    "run_parity",
+    "run_swarm",
+]

@@ -1,0 +1,88 @@
+"""Sim-vs-runtime parity harness.
+
+The live runtime reuses the simulator's node logic, overlay construction
+and message accounting — so on the same scenario both should converge to
+the same stable playback continuity, even though the runtime replaces the
+lock-step round barrier with real concurrent tasks, wire frames and link
+latency.  This harness runs both on one scenario and reports the deltas;
+``docs/runtime.md`` documents the expected agreement (stable continuity
+within 0.02 on the ``static`` scenario at 200 nodes, the acceptance bar
+the CI parity test enforces).
+
+The simulator side is deterministic; the runtime side carries wall-clock
+noise, which is exactly why the comparison targets the *stable-phase mean*
+rather than any individual round sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.system import SimulationResult
+from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm, RuntimeResult
+from repro.scenarios.spec import ScenarioSpec, load_scenarios
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """Side-by-side stable metrics of one simulator run and one swarm run."""
+
+    scenario: str
+    num_nodes: int
+    rounds: int
+    sim_stable_continuity: float
+    runtime_stable_continuity: float
+    sim_prefetch_overhead: float
+    runtime_prefetch_overhead: float
+    sim_result: SimulationResult
+    runtime_result: RuntimeResult
+
+    @property
+    def continuity_delta(self) -> float:
+        """|runtime − sim| stable continuity (the acceptance metric)."""
+        return abs(self.runtime_stable_continuity - self.sim_stable_continuity)
+
+    def formatted(self) -> str:
+        """Human-readable two-line comparison."""
+        return (
+            f"parity {self.scenario} n={self.num_nodes} rounds={self.rounds}:\n"
+            f"  simulator: stable continuity {self.sim_stable_continuity:.4f}, "
+            f"prefetch overhead {self.sim_prefetch_overhead:.4f}\n"
+            f"  runtime:   stable continuity {self.runtime_stable_continuity:.4f}, "
+            f"prefetch overhead {self.runtime_prefetch_overhead:.4f}\n"
+            f"  |Δ continuity| = {self.continuity_delta:.4f}"
+        )
+
+
+def run_parity(
+    scenario: Union[str, ScenarioSpec] = "static",
+    num_nodes: int = 200,
+    rounds: int = 40,
+    seed: int = 0,
+    time_scale: float = DEFAULT_TIME_SCALE,
+) -> ParityReport:
+    """Run one scenario through the simulator and the live runtime.
+
+    Args:
+        scenario: built-in scenario name, spec file path, or spec object.
+        num_nodes: overlay size for both runs.
+        rounds: scheduling periods for both runs.
+        seed: root seed (identical construction on both sides).
+        time_scale: wall seconds per simulated second for the swarm side.
+    """
+    (spec,) = load_scenarios([scenario]) if not isinstance(scenario, ScenarioSpec) else (scenario,)
+    spec = spec.scaled(num_nodes=num_nodes, rounds=rounds, seed=seed)
+    sim_result = spec.run()
+    runtime_result = LiveSwarm(spec, time_scale=time_scale).run()
+    return ParityReport(
+        scenario=spec.name,
+        num_nodes=num_nodes,
+        rounds=rounds,
+        sim_stable_continuity=float(sim_result.stable_continuity()),
+        runtime_stable_continuity=float(runtime_result.stable_continuity()),
+        sim_prefetch_overhead=float(sim_result.prefetch_overhead()),
+        runtime_prefetch_overhead=float(runtime_result.prefetch_overhead()),
+        sim_result=sim_result,
+        runtime_result=runtime_result,
+    )

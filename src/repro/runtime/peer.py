@@ -1,0 +1,583 @@
+"""The live peer actor: one asyncio task per overlay node.
+
+A :class:`LivePeer` adapts the passive :class:`~repro.core.node.StreamingNode`
+state machine (and its ContinuStreaming specialisation) to an event-driven
+life: instead of a global round barrier, each peer owns
+
+* an **inbox** of raw wire bytes, drained by a reader task that decodes
+  frames (:class:`~repro.runtime.wire.FrameDecoder`) and dispatches them;
+* a **period loop** that fires every scheduling period ``τ`` on the peer's
+  *own* clock (scaled by the swarm's time factor) and performs the same
+  work the round pipeline's phases do for it in the simulator — playback,
+  buffer-map gossip, data scheduling, urgent-line prediction — except that
+  everything leaves the peer as serialized wire messages and everything
+  arrives asynchronously whenever the (latency-delayed) transport delivers
+  it;
+* a **send budget**: a per-period token bucket refilled to
+  ``outbound_rate · τ``, which paces segment uploads exactly like the
+  simulator's per-period outbound budgets;
+* a private :class:`~repro.net.message.MessageLedger` charged via
+  :func:`~repro.runtime.wire.ledger_entry`, merged swarm-wide only after
+  shutdown (no shared mutable state between peers).
+
+The peer reuses the node's decision logic verbatim: ``plan_requests`` runs
+the paper's Algorithm 1 over the *received* buffer-map messages (which are
+genuine snapshots — a segment delivered mid-period only becomes visible to
+neighbours in the next gossip), and ``predict_missed`` runs the urgent-line
+prediction whose missed segments the peer then locates by routing real
+DHT lookup frames hop by hop through the other peers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.continu import ContinuStreamingNode
+from repro.core.node import StreamingNode
+from repro.net.message import MessageLedger
+from repro.runtime import wire
+from repro.streaming.buffermap import BufferMap
+from repro.streaming.segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime.swarm import LiveSwarm
+
+
+@dataclass
+class _PendingLookup:
+    """Bookkeeping for one segment's in-flight DHT location step."""
+
+    segment_id: int
+    expected: int
+    started_tick: int
+    responses: List[wire.DhtResponse] = field(default_factory=list)
+    decided: bool = False
+
+
+@dataclass
+class PlaybackSample:
+    """What one peer's playback did during one global period."""
+
+    started: bool
+    continuous: bool
+
+
+class LivePeer:
+    """One concurrently running overlay peer.
+
+    Args:
+        node: the protocol node (built by the
+            :class:`~repro.core.overlay.OverlayManager`, so topology,
+            bandwidth and peer tables match the simulator's construction).
+        swarm: the orchestrator, providing transport, clocking and the
+            shared latency/overhearing services.
+        first_tick: global period index at which this peer starts living
+            (0 for the boot population, the join period for churned-in
+            peers) — playback samples are keyed by global tick so the
+            swarm can aggregate continuity per period.
+    """
+
+    def __init__(self, node: StreamingNode, swarm: "LiveSwarm", first_tick: int = 0) -> None:
+        self.node = node
+        self.swarm = swarm
+        self.config = swarm.config
+        self.first_tick = int(first_tick)
+        self.ledger = MessageLedger()
+        self.inbox: "asyncio.Queue[bytes]" = asyncio.Queue()
+        self.decoder = wire.FrameDecoder()
+        self.neighbor_maps: Dict[int, BufferMap] = {}
+        self.known_newest: int = -1
+        period = self.config.scheduling_period
+        self.outbound_tokens: float = node.outbound_rate * period
+        self.playback_log: Dict[int, PlaybackSample] = {}
+        self._delivered: Dict[int, int] = {}
+        self._requested: set = set()
+        self._nack_tried: Dict[int, set] = {}
+        self._dht_pending: Dict[int, _PendingLookup] = {}
+        self._prefetch_deadlines: Dict[int, float] = {}
+        self._ping_nonce = itertools.count(1)
+        self._tasks: List[asyncio.Task] = []
+        self.ticks_run = 0
+        self.stopped = False
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def peer_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def is_source(self) -> bool:
+        return self.node.is_source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "source" if self.is_source else "peer"
+        return f"<LivePeer {role} id={self.peer_id} ticks={self.ticks_run}>"
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Spawn the reader and period-loop tasks on the running loop."""
+        self._tasks = [
+            asyncio.create_task(self._read_loop(), name=f"peer-{self.peer_id}-read"),
+            asyncio.create_task(self._period_loop(), name=f"peer-{self.peer_id}-tick"),
+        ]
+
+    async def stop(self) -> None:
+        """Cancel both tasks and wait for them to unwind."""
+        self.stopped = True
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    def announce_join(self) -> None:
+        """Membership traffic of a newly joined peer: PING every neighbour."""
+        for nbr in self.node.neighbors:
+            self._send(nbr, wire.Ping(sender=self.peer_id, nonce=next(self._ping_nonce)))
+
+    def send_handover(self) -> None:
+        """Graceful leave: ship the VoD backup to the successor over the wire."""
+        if not isinstance(self.node, ContinuStreamingNode):
+            return
+        successor = self.swarm.successor_of(self.peer_id)
+        if successor is None:
+            return
+        segments = self.node.handover_backup()
+        self._send(
+            successor,
+            wire.Handover(
+                sender=self.peer_id,
+                segment_bits=self.config.segment_bits,
+                segment_ids=tuple(seg.segment_id for seg in segments),
+            ),
+        )
+
+    # ------------------------------------------------------------------- sending
+    def _send(self, dst: int, msg: wire.WireMessage) -> None:
+        """Encode, charge the ledger, and hand the frame to the transport."""
+        entry = wire.ledger_entry(msg)
+        if entry is not None:
+            self.ledger.record(entry[0], entry[1])
+        self.swarm.deliver(self.peer_id, dst, wire.encode(msg))
+
+    def _broadcast(self, dsts, msg: wire.WireMessage) -> None:
+        """Send one message to many peers, encoding the frame only once."""
+        entry = wire.ledger_entry(msg)
+        frame = wire.encode(msg)
+        for dst in dsts:
+            if entry is not None:
+                self.ledger.record(entry[0], entry[1])
+            self.swarm.deliver(self.peer_id, dst, frame)
+
+    # ------------------------------------------------------------------ receiving
+    async def _read_loop(self) -> None:
+        while True:
+            chunk = await self.inbox.get()
+            for msg in self.decoder.feed(chunk):
+                self._dispatch(msg)
+
+    def _dispatch(self, msg: wire.WireMessage) -> None:
+        if not self.node.alive:
+            return
+        if isinstance(msg, wire.BufferMapMsg):
+            self._on_buffer_map(msg)
+        elif isinstance(msg, wire.SegmentRequest):
+            self._on_segment_request(msg)
+        elif isinstance(msg, wire.SegmentData):
+            self._on_segment_data(msg)
+        elif isinstance(msg, wire.SegmentNack):
+            self._on_segment_nack(msg)
+        elif isinstance(msg, wire.DhtLookup):
+            self._on_dht_lookup(msg)
+        elif isinstance(msg, wire.DhtResponse):
+            self._on_dht_response(msg)
+        elif isinstance(msg, wire.Ping):
+            self._send(msg.sender, wire.Pong(sender=self.peer_id, nonce=msg.nonce))
+        elif isinstance(msg, wire.Pong):
+            pass  # liveness confirmation only
+        elif isinstance(msg, wire.Handover):
+            self._on_handover(msg)
+
+    def _on_buffer_map(self, msg: wire.BufferMapMsg) -> None:
+        self.neighbor_maps[msg.sender] = msg.buffer_map()
+        if msg.newest_id > self.known_newest:
+            self.known_newest = msg.newest_id
+
+    def _on_segment_request(self, msg: wire.SegmentRequest) -> None:
+        node = self.node
+        if msg.prefetch and isinstance(node, ContinuStreamingNode):
+            available = node.serves_segment(msg.segment_id)
+        else:
+            available = node.has_segment(msg.segment_id)
+        if not available or self.outbound_tokens < 1.0:
+            # Saturated uplink (or stale advertisement): refuse explicitly
+            # so the requester can reroute within the period, like the
+            # simulator's fallback-supplier pass.
+            self._send(
+                msg.sender,
+                wire.SegmentNack(
+                    sender=self.peer_id,
+                    segment_id=msg.segment_id,
+                    prefetch=msg.prefetch,
+                ),
+            )
+            return
+        self.outbound_tokens -= 1.0
+        self._send(
+            msg.sender,
+            wire.SegmentData(
+                sender=self.peer_id,
+                segment_id=msg.segment_id,
+                size_bits=self.config.segment_bits,
+                prefetch=msg.prefetch,
+            ),
+        )
+
+    def _on_segment_data(self, msg: wire.SegmentData) -> None:
+        node = self.node
+        now = self.swarm.sim_now()
+        accepted = node.receive_segment(msg.segment_id, prefetched=msg.prefetch)
+        if msg.prefetch and isinstance(node, ContinuStreamingNode):
+            deadline = self._prefetch_deadlines.pop(
+                msg.segment_id, now + self.config.scheduling_period
+            )
+            node.record_prefetch(msg.segment_id, arrival_time=now, deadline=deadline)
+        elif not msg.prefetch:
+            self._delivered[msg.sender] = self._delivered.get(msg.sender, 0) + 1
+        if accepted and isinstance(node, ContinuStreamingNode):
+            node.consider_backup(self.swarm.segment_payload(msg.segment_id))
+
+    def _on_segment_nack(self, msg: wire.SegmentNack) -> None:
+        """Reroute a refused pull to the best untried partner advertising it."""
+        node = self.node
+        sid = msg.segment_id
+        if msg.prefetch:
+            # The located holder refused (budget spent); the next period's
+            # prediction re-triggers the lookup if the segment still matters.
+            self._prefetch_deadlines.pop(sid, None)
+            return
+        if node.has_segment(sid):
+            return
+        tried = self._nack_tried.setdefault(sid, set())
+        tried.add(msg.sender)
+        partners = set(node.neighbors)
+        fallback = None
+        best_rate = -1.0
+        for nbr, neighbor_map in self.neighbor_maps.items():
+            if nbr in tried or nbr not in partners or sid not in neighbor_map.present:
+                continue
+            rate = node.rate_controller.rate_of(nbr)
+            if rate > best_rate:
+                best_rate, fallback = rate, nbr
+        if fallback is None:
+            return
+        self._send(fallback, wire.SegmentRequest(sender=self.peer_id, segment_id=sid))
+
+    def _on_handover(self, msg: wire.Handover) -> None:
+        node = self.node
+        if not isinstance(node, ContinuStreamingNode):
+            return
+        node.absorb_handover(
+            [
+                Segment(segment_id=sid, size_bits=msg.segment_bits)
+                for sid in msg.segment_ids
+            ]
+        )
+
+    # --------------------------------------------------------------- DHT routing
+    def _closer_hop(self, target_key: int, exclude: Tuple[int, ...]) -> Optional[int]:
+        """The routing candidate clockwise-closest to ``target_key``.
+
+        Greedy rule of :class:`~repro.dht.routing.GreedyRouter`: forward only
+        to a peer strictly closer than this node; ``None`` means the walk
+        terminates here.  Dead peers are skipped — the stand-in for the probe
+        a real node would fail.
+        """
+        size = self.swarm.ring.size
+        target = target_key % size
+        current_dist = (target - self.peer_id) % size
+        if current_dist == 0:
+            return None
+        best: Optional[int] = None
+        best_dist = current_dist
+        excluded = set(exclude)
+        is_alive = self.swarm.is_alive
+        for peer in self.node.peer_table.routing_candidates():
+            if peer in excluded or not is_alive(peer):
+                continue
+            dist = (target - peer) % size
+            if dist < best_dist:
+                best, best_dist = peer, dist
+        return best
+
+    def _on_dht_lookup(self, msg: wire.DhtLookup) -> None:
+        self.swarm.overhear(self.node.peer_table, msg.path)
+        nxt = self._closer_hop(msg.target_key, msg.path)
+        if nxt is not None:
+            self._send(
+                nxt,
+                wire.DhtLookup(
+                    origin=msg.origin,
+                    target_key=msg.target_key,
+                    segment_id=msg.segment_id,
+                    path=msg.path + (self.peer_id,),
+                ),
+            )
+            return
+        # Terminal node: this peer is responsible for the key — answer the
+        # origin directly with whether it can serve the segment and at what
+        # rate (the requester picks the fastest holder, Algorithm 2).
+        node = self.node
+        if isinstance(node, ContinuStreamingNode):
+            has_data = node.serves_segment(msg.segment_id)
+        else:
+            has_data = node.has_segment(msg.segment_id)
+        self._send(
+            msg.origin,
+            wire.DhtResponse(
+                responder=self.peer_id,
+                origin=msg.origin,
+                target_key=msg.target_key,
+                segment_id=msg.segment_id,
+                has_data=has_data,
+                rate=max(0.0, min(node.outbound_rate, self.outbound_tokens)),
+                path=msg.path + (self.peer_id,),
+            ),
+        )
+
+    def _on_dht_response(self, msg: wire.DhtResponse) -> None:
+        self.swarm.overhear(self.node.peer_table, msg.path)
+        pending = self._dht_pending.get(msg.segment_id)
+        if pending is None or pending.decided:
+            return
+        pending.responses.append(msg)
+        if len(pending.responses) >= pending.expected:
+            self._decide_lookup(pending)
+
+    def _start_lookup(self, segment_id: int) -> None:
+        if segment_id in self._dht_pending or self.node.has_segment(segment_id):
+            return
+        from repro.dht.hashing import backup_keys
+
+        keys = backup_keys(segment_id, self.config.backup_replicas, self.swarm.id_space)
+        pending = _PendingLookup(
+            segment_id=segment_id, expected=0, started_tick=self.ticks_run
+        )
+        launched = 0
+        for key in keys:
+            nxt = self._closer_hop(key, (self.peer_id,))
+            if nxt is None:
+                continue  # this peer is itself responsible — nobody to ask
+            launched += 1
+            self._send(
+                nxt,
+                wire.DhtLookup(
+                    origin=self.peer_id,
+                    target_key=key,
+                    segment_id=segment_id,
+                    path=(self.peer_id,),
+                ),
+            )
+        if launched == 0:
+            return
+        pending.expected = launched
+        self._dht_pending[segment_id] = pending
+
+    def _decide_lookup(self, pending: _PendingLookup) -> None:
+        """Pick the fastest responding holder and request the download."""
+        pending.decided = True
+        self._dht_pending.pop(pending.segment_id, None)
+        node = self.node
+        if not isinstance(node, ContinuStreamingNode):
+            return
+        if node.has_segment(pending.segment_id):
+            # Delivered by gossip while the lookup was in flight — the
+            # paper's "repeated data" case; the urgent ratio shrinks.
+            node.stats.prefetch_repeated += 1
+            node.urgent_line.record_repeated(1)
+            return
+        holders = {}
+        for resp in pending.responses:
+            if resp.has_data and resp.rate > 0.0:
+                prev = holders.get(resp.responder)
+                if prev is None or resp.rate > prev:
+                    holders[resp.responder] = resp.rate
+        if not holders:
+            return
+        supplier = max(holders, key=lambda h: (holders[h], -h))
+        now = self.swarm.sim_now()
+        self._prefetch_deadlines[pending.segment_id] = node.deadline_of(
+            pending.segment_id, now=now
+        )
+        self._send(
+            supplier,
+            wire.SegmentRequest(
+                sender=self.peer_id, segment_id=pending.segment_id, prefetch=True
+            ),
+        )
+
+    def _sweep_lookups(self) -> None:
+        """Decide stale lookups with whatever responses arrived (timeout)."""
+        for pending in list(self._dht_pending.values()):
+            if self.ticks_run - pending.started_tick >= 1:
+                self._decide_lookup(pending)
+
+    # ------------------------------------------------------------ the period loop
+    #: Fraction of a period after which scheduling runs, leaving link
+    #: latency enough headroom for the boundary's buffer-map gossip to
+    #: arrive first — the live analogue of the simulator's "scheduler sees
+    #: this round's snapshots" (one dissemination hop per period, not two).
+    SCHEDULE_PHASE = 0.4
+
+    #: Fraction of a period after which the deadline-rescue pass runs:
+    #: segments the player needs within the next two periods that are
+    #: advertised by a partner but still missing get re-requested.  The
+    #: simulator's synchronous rounds deliver every granted request within
+    #: its own round; live transfers land mid-period with jitter, and this
+    #: pass is what keeps the tail of that distribution from turning into
+    #: deadline misses.
+    RESCUE_PHASE = 0.8
+
+    async def _period_loop(self) -> None:
+        scaled = self.config.scheduling_period * self.swarm.time_scale
+        loop = asyncio.get_running_loop()
+        tick = self.first_tick
+        deadline = self.swarm.wall_deadline_of(tick)
+        while not self.stopped:
+            delay = deadline - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if tick > self.first_tick:
+                self._period_end(tick - 1)
+            self._period_start(tick)
+            tick += 1
+            self.ticks_run += 1
+            # Absolute deadlines, re-anchored when a tick overruns.  The
+            # floor guarantees at least 60% of a period of wall time (so
+            # the mid-period scheduling at 40% still fits) instead of
+            # cascading into a burst of degenerate catch-up ticks.
+            deadline = max(deadline + scaled, loop.time() + 0.6 * scaled)
+
+    def _period_end(self, tick: int) -> None:
+        """Boundary work closing period ``tick``: playback and feedback."""
+        if self.is_source:
+            return
+        node = self.node
+        cfg = self.config
+        now = self.swarm.sim_now()
+        if isinstance(node, ContinuStreamingNode):
+            node.settle_prefetches(now)
+        if not node.playback.started:
+            node.maybe_start_playback(
+                cfg.startup_segments, newest_available_id=self._newest_or_none()
+            )
+        continuous = node.playback.started and node.can_play_round()
+        node.play_round(newest_available_id=self._newest_or_none())
+        self.playback_log[tick] = PlaybackSample(
+            started=node.playback.started, continuous=continuous
+        )
+        node.observe_deliveries(self._delivered)
+        self._delivered = {}
+
+    def _period_start(self, tick: int) -> None:
+        """Boundary work opening period ``tick``: budgets and gossip.
+
+        Data scheduling and urgent-line prediction run a fraction of a
+        period later (:meth:`_mid_period`), once the neighbours' boundary
+        buffer maps have crossed the wire.
+        """
+        node = self.node
+        cfg = self.config
+        if self.is_source:
+            for segment in self.swarm.source.generate_until(
+                (tick + 1) * cfg.scheduling_period
+            ):
+                node.buffer.add(segment.segment_id)
+            self.known_newest = max(
+                self.known_newest, self.swarm.source.newest_segment_id
+            )
+            self.outbound_tokens = node.outbound_rate * cfg.scheduling_period
+            self._gossip_buffer_map()
+            return
+        node.begin_round()
+        self._nack_tried = {}
+        self._requested = set()
+        self.outbound_tokens = node.outbound_rate * cfg.scheduling_period
+        self._gossip_buffer_map()
+        loop = asyncio.get_running_loop()
+        scaled = cfg.scheduling_period * self.swarm.time_scale
+        loop.call_later(self.SCHEDULE_PHASE * scaled, self._mid_period)
+        loop.call_later(self.RESCUE_PHASE * scaled, self._rescue_pass)
+
+    def _mid_period(self) -> None:
+        """Mid-period work: Algorithm 1 scheduling + urgent-line lookups."""
+        node = self.node
+        if self.stopped or not node.alive:
+            return
+        self._schedule_requests()
+        self._sweep_lookups()
+        if self.swarm.prediction_enabled and isinstance(node, ContinuStreamingNode):
+            if self.known_newest >= 0:
+                prediction = node.predict_missed(self.known_newest)
+                if prediction.triggered:
+                    for sid in prediction.missed_segment_ids:
+                        self._start_lookup(sid)
+
+    def _rescue_pass(self) -> None:
+        """Late-period rescue of imminently needed, partner-held segments."""
+        node = self.node
+        if self.stopped or not node.alive or not node.playback.started:
+            return
+        if self.known_newest < 0:
+            return
+        spr = node.playback.segments_per_round(self.config.scheduling_period)
+        lo = node.playback.play_id
+        hi = min(lo + 2 * spr - 1, self.known_newest)
+        partners = set(node.neighbors)
+        for sid in range(lo, hi + 1):
+            if sid in node.buffer or sid in self._requested:
+                continue
+            best = None
+            best_rate = -1.0
+            for nbr, neighbor_map in self.neighbor_maps.items():
+                if nbr not in partners or sid not in neighbor_map.present:
+                    continue
+                rate = node.rate_controller.rate_of(nbr)
+                if rate > best_rate:
+                    best_rate, best = rate, nbr
+            if best is None:
+                continue
+            self._requested.add(sid)
+            self._send(best, wire.SegmentRequest(sender=self.peer_id, segment_id=sid))
+
+    def _newest_or_none(self) -> Optional[int]:
+        return self.known_newest if self.known_newest >= 0 else None
+
+    def _gossip_buffer_map(self) -> None:
+        msg = wire.BufferMapMsg.from_buffer_map(
+            self.peer_id, self.known_newest, self.node.buffer_map()
+        )
+        self._broadcast(self.node.neighbors, msg)
+
+    def _schedule_requests(self) -> None:
+        node = self.node
+        if self.known_newest < 0:
+            return
+        partners = set(node.neighbors)
+        maps = {
+            nbr: bm for nbr, bm in self.neighbor_maps.items() if nbr in partners
+        }
+        if not maps:
+            return
+        requests = node.plan_requests(
+            maps, self.known_newest, self.config.scheduling_window
+        )
+        for request in requests:
+            self._delivered.setdefault(request.supplier_id, 0)
+            self._requested.add(request.segment_id)
+            self._send(
+                request.supplier_id,
+                wire.SegmentRequest(sender=self.peer_id, segment_id=request.segment_id),
+            )

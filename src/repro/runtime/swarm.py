@@ -1,0 +1,381 @@
+"""The live swarm orchestrator: boot, clock, churn, collect, shut down.
+
+:class:`LiveSwarm` turns a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` into a running swarm of
+:class:`~repro.runtime.peer.LivePeer` tasks:
+
+* **construction reuse** — the spec builds the exact same
+  :class:`~repro.core.system.StreamingSystem` the simulator would run, so
+  topology, bandwidth assignment, latency model, peer tables and DHT
+  fingers are identical to the simulated overlay before the first frame
+  flies; the swarm then wraps every node in a live peer instead of
+  clocking rounds;
+* **loopback transport** — frames travel through per-peer inboxes with the
+  pairwise one-way latency of :class:`~repro.net.latency.LatencyModel`
+  injected per link (scaled by ``time_scale``, which compresses simulated
+  seconds into wall seconds); a scenario ``loss_rate`` drops frames at the
+  transport, the live analogue of the simulator's throughput loss model;
+* **live churn** — the scenario's churn schedule runs against the real
+  swarm: departing peers are cancelled mid-flight (gracefully leaving ones
+  ship their VoD backup over the wire first), joining peers are admitted
+  through the Rendezvous Point and boot as new tasks announcing themselves
+  with PING/PONG membership traffic;
+* **metrics** — per-peer playback samples aggregate into the standard
+  :class:`~repro.streaming.playback.ContinuityTracker` and per-peer
+  :class:`~repro.net.message.MessageLedger` objects merge into a swarm
+  ledger after shutdown, so continuity and overhead come out in exactly
+  the simulator's units.
+
+The runtime trades the simulator's determinism for real concurrency: two
+runs interleave differently, so results carry wall-clock noise — the
+parity harness (:mod:`repro.runtime.parity`) quantifies how close the two
+stay on the paper's metrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.net.message import MessageKind, MessageLedger
+from repro.runtime.peer import LivePeer
+from repro.scenarios.spec import ScenarioSpec
+from repro.streaming.playback import ContinuityTracker
+from repro.streaming.segment import Segment
+
+#: Default wall seconds per simulated second.  0.1 compresses the paper's
+#: 1-second scheduling period to 100 ms — enough headroom for a few
+#: hundred peers' worth of frames per period on one event loop.
+DEFAULT_TIME_SCALE = 0.1
+
+
+@dataclass
+class RuntimeResult:
+    """Everything a live swarm run produces.
+
+    Mirrors :class:`~repro.core.system.SimulationResult` where the metrics
+    overlap (continuity, overheads) and adds runtime-only facts (wall time,
+    message throughput).
+    """
+
+    system: str
+    config: SystemConfig
+    rounds: int
+    time_scale: float
+    tracker: ContinuityTracker
+    ledger: MessageLedger
+    per_peer_ledgers: Dict[int, MessageLedger] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    peers_joined: int = 0
+    peers_left: int = 0
+    wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------------ metrics
+    def continuity_series(self) -> List[float]:
+        """Playback continuity per period (the simulator's Figure 5 metric)."""
+        return list(self.tracker.continuity)
+
+    def stable_continuity(self, skip_rounds: Optional[int] = None) -> float:
+        """Stable-phase playback continuity (mean over the trailing third)."""
+        return self.tracker.stable_phase_continuity(skip_rounds)
+
+    def control_overhead(self) -> float:
+        """Buffer-map bits / scheduled-data bits, swarm-wide."""
+        return self.ledger.control_overhead()
+
+    def prefetch_overhead(self) -> float:
+        """(DHT routing + pre-fetched data) / scheduled data, swarm-wide."""
+        return self.ledger.prefetch_overhead()
+
+    def segments_delivered(self) -> int:
+        """Data segments delivered over the wire (both paths)."""
+        return self.ledger.count_of(MessageKind.DATA_SCHEDULED) + self.ledger.count_of(
+            MessageKind.DATA_PREFETCH
+        )
+
+    def messages_per_wall_second(self) -> float:
+        """Wire messages sent per wall-clock second (throughput)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.messages_sent / self.wall_time_s
+
+    def segments_per_wall_second(self) -> float:
+        """Data segments delivered per wall-clock second (goodput)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.segments_delivered() / self.wall_time_s
+
+
+class LiveSwarm:
+    """Runs one scenario as a swarm of concurrent asyncio peers.
+
+    Args:
+        spec: the declarative workload (size, churn, bandwidth mix, loss).
+        rounds: scheduling periods to run; ``None`` uses the spec's.
+        time_scale: wall seconds per simulated second.  Smaller runs
+            faster but leaves less wall time per period for the event loop
+            to move every frame; raise it if a large swarm's periods
+            overrun (continuity degrades when they do).
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        rounds: Optional[int] = None,
+        time_scale: float = DEFAULT_TIME_SCALE,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.spec = spec
+        self.rounds = int(spec.rounds if rounds is None else rounds)
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.time_scale = float(time_scale)
+        self.system = spec.build_system()
+        self.config: SystemConfig = self.system.config
+        self.manager = self.system.manager
+        self.source = self.system.source
+        pipeline_names = {phase.name for phase in self.system.pipeline}
+        #: urgent-line prediction + on-demand retrieval run only when the
+        #: registered pipeline contains them (protocol-faithful adaptation).
+        self.prediction_enabled = "urgent-line-prediction" in pipeline_names
+        self.peers: Dict[int, LivePeer] = {}
+        self.retired_peers: List[LivePeer] = []
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.peers_joined = 0
+        self.peers_left = 0
+        self._loss_rng: Optional[np.random.Generator] = None
+        self._start_wall = 0.0
+        self._built = False
+
+    # ======================================================================= build
+    def build(self) -> "LiveSwarm":
+        """Construct the overlay (identically to the simulator).  Idempotent."""
+        if self._built:
+            return self
+        self.system.build()
+        if self.spec.loss_rate > 0.0:
+            self._loss_rng = self.system.streams.get("runtime-loss")
+        for node_id, node in self.manager.nodes.items():
+            self.peers[node_id] = LivePeer(node, self, first_tick=0)
+        self._built = True
+        return self
+
+    # ============================================================ peer services
+    @property
+    def ring(self):
+        """The DHT identifier ring (greedy routing distance metric)."""
+        return self.manager.ring
+
+    @property
+    def id_space(self) -> int:
+        """Ring size ``N`` (for the backup-key hashes)."""
+        return self.manager.ring.size
+
+    def is_alive(self, node_id: int) -> bool:
+        """Liveness oracle peers use in place of a failed-probe timeout."""
+        return self.manager.is_alive(node_id)
+
+    def successor_of(self, node_id: int) -> Optional[int]:
+        """The counter-clockwise closest alive node (handover target)."""
+        return self.manager.counter_clockwise_closest(node_id)
+
+    def overhear(self, peer_table, path) -> None:
+        """Every node on a routing path overhears the others on it."""
+        self.manager.overhearing.overhear_path(peer_table, path, now=self.sim_now())
+
+    def segment_payload(self, segment_id: int) -> Segment:
+        """The segment object offered to a VoD backup store (eq. (5))."""
+        segment = self.source.store.get(segment_id)
+        if segment is None:
+            segment = Segment(segment_id=segment_id, size_bits=self.config.segment_bits)
+        return segment
+
+    # ----------------------------------------------------------------- clocking
+    def sim_now(self) -> float:
+        """Current simulated time in seconds (wall time un-scaled)."""
+        return max(0.0, (asyncio.get_running_loop().time() - self._start_wall) / self.time_scale)
+
+    def wall_deadline_of(self, tick: int) -> float:
+        """Wall-clock loop time of period boundary ``tick``."""
+        return self._start_wall + tick * self.config.scheduling_period * self.time_scale
+
+    # ---------------------------------------------------------------- transport
+    def deliver(self, src: int, dst: int, frame: bytes) -> None:
+        """Ship one encoded frame from ``src`` to ``dst`` with link latency.
+
+        Frames to departed or unknown peers vanish (the network does not
+        know who died); a configured ``loss_rate`` drops frames at random,
+        the live analogue of the scenario engine's lossy-network model.
+        """
+        self.messages_sent += 1
+        if self._loss_rng is not None and self._loss_rng.random() < self.spec.loss_rate:
+            self.messages_dropped += 1
+            return
+        peer = self.peers.get(dst)
+        if peer is None or peer.stopped or not peer.node.alive:
+            self.messages_dropped += 1
+            return
+        delay = self.manager.latency_ms(src, dst) / 1000.0 * self.time_scale
+        loop = asyncio.get_running_loop()
+        loop.call_later(delay, self._deliver_now, dst, frame)
+
+    def _deliver_now(self, dst: int, frame: bytes) -> None:
+        peer = self.peers.get(dst)
+        if peer is None or peer.stopped or not peer.node.alive:
+            self.messages_dropped += 1
+            return
+        peer.inbox.put_nowait(frame)
+
+    # ======================================================================== run
+    def run(self) -> RuntimeResult:
+        """Build, run to completion and return the collected result."""
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> RuntimeResult:
+        """Boot every peer, drive churn, stop after ``rounds`` periods."""
+        self.build()
+        loop = asyncio.get_running_loop()
+        wall_start = time.perf_counter()
+        self._start_wall = loop.time()
+        for peer in self.peers.values():
+            peer.start()
+        try:
+            await self._churn_loop()
+        finally:
+            await self._shutdown()
+        wall_time = time.perf_counter() - wall_start
+        return self._collect(wall_time)
+
+    async def _churn_loop(self) -> None:
+        """Fire the churn schedule at every period boundary, then stop.
+
+        Runs slightly after each boundary (half a period, scaled) so the
+        peers' own period ticks — playback, gossip — happen first, matching
+        the simulator's end-of-period churn phase ordering.
+        """
+        scaled = self.config.scheduling_period * self.time_scale
+        churn = self.manager.churn
+        rng = self.system.streams.get("runtime-churn")
+        for round_index in range(self.rounds):
+            deadline = self.wall_deadline_of(round_index + 1) + 0.5 * scaled
+            delay = deadline - asyncio.get_running_loop().time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if churn.is_static or round_index == self.rounds - 1:
+                continue
+            event = churn.step(
+                round_index, self.manager.alive_node_ids(), self.system.streams.get("churn")
+            )
+            for node_id in event.leaving:
+                await self._retire_peer(node_id, rng)
+            for _ in event.joining:
+                self._admit_peer(rng, round_index + 1)
+            if event.leaving or event.joining:
+                self.manager.repair_neighbors()
+        await self._await_completion(scaled)
+
+    async def _await_completion(self, scaled: float) -> None:
+        """Wait for every live peer to finish its ``rounds`` periods.
+
+        Peers that overran re-anchor their period clocks, so they may trail
+        the controller's wall schedule; shutting down on wall time alone
+        would truncate their samples.  Bounded by twice the nominal run
+        length so a wedged peer cannot hang the swarm.
+        """
+        budget = 2.0 * self.rounds * scaled
+        waited = 0.0
+        step = max(0.25 * scaled, 0.001)
+        while waited < budget:
+            lagging = [
+                peer
+                for peer in self.peers.values()
+                if peer.node.alive and peer.first_tick + peer.ticks_run <= self.rounds
+            ]
+            if not lagging:
+                return
+            await asyncio.sleep(step)
+            waited += step
+
+    async def _retire_peer(self, node_id: int, rng: np.random.Generator) -> None:
+        peer = self.peers.get(node_id)
+        if peer is None or not peer.node.alive:
+            return
+        graceful = rng.random() >= self.config.abrupt_leave_fraction
+        if graceful:
+            peer.send_handover()
+        # The wire handover above replaces the manager's in-memory one.
+        self.manager.remove_node(node_id, rng, graceful=graceful, handover=False)
+        await peer.stop()
+        self.retired_peers.append(self.peers.pop(node_id))
+        self.peers_left += 1
+
+    def _admit_peer(self, rng: np.random.Generator, first_tick: int) -> None:
+        ring_id = self.manager.admit_node(rng, now=self.sim_now())
+        peer = LivePeer(self.manager.nodes[ring_id], self, first_tick=first_tick)
+        self.peers[ring_id] = peer
+        peer.start()
+        peer.announce_join()
+        self.peers_joined += 1
+
+    async def _shutdown(self) -> None:
+        """Graceful shutdown: stop every task and wait for it to unwind."""
+        await asyncio.gather(*(peer.stop() for peer in self.peers.values()))
+
+    # ================================================================== collect
+    def _collect(self, wall_time: float) -> RuntimeResult:
+        everyone = list(self.peers.values()) + self.retired_peers
+        tracker = ContinuityTracker(round_duration=self.config.scheduling_period)
+        samples: List[tuple] = []
+        for tick in range(self.rounds):
+            playing = total = 0
+            for peer in everyone:
+                if peer.is_source:
+                    continue
+                sample = peer.playback_log.get(tick)
+                if sample is None:
+                    continue
+                total += 1
+                if sample.started and sample.continuous:
+                    playing += 1
+            samples.append((tick, playing, total))
+        # Trailing ticks nobody sampled (a timed-out shutdown cut them off)
+        # are dropped rather than recorded as vacuous perfect rounds.
+        while samples and samples[-1][2] == 0 and len(samples) > 1:
+            samples.pop()
+        for tick, playing, total in samples:
+            tracker.record_round(
+                (tick + 1) * self.config.scheduling_period, playing, total
+            )
+        per_peer = {peer.peer_id: peer.ledger.snapshot() for peer in everyone}
+        ledger = MessageLedger.merged(list(per_peer.values()))
+        return RuntimeResult(
+            system=self.spec.system,
+            config=self.config,
+            rounds=self.rounds,
+            time_scale=self.time_scale,
+            tracker=tracker,
+            ledger=ledger,
+            per_peer_ledgers=per_peer,
+            messages_sent=self.messages_sent,
+            messages_dropped=self.messages_dropped,
+            peers_joined=self.peers_joined,
+            peers_left=self.peers_left,
+            wall_time_s=wall_time,
+        )
+
+
+def run_swarm(
+    spec: ScenarioSpec,
+    rounds: Optional[int] = None,
+    time_scale: float = DEFAULT_TIME_SCALE,
+) -> RuntimeResult:
+    """Convenience wrapper: build and run one live swarm to completion."""
+    return LiveSwarm(spec, rounds=rounds, time_scale=time_scale).run()

@@ -1,0 +1,506 @@
+"""The live runtime's length-prefixed binary wire protocol.
+
+Every message the simulated protocol vocabulary knows — buffer-map
+exchanges, segment transfers, DHT routing/lookup traffic, membership
+PING/PONG and the graceful-leave backup handover — has a binary frame:
+
+``[u32 length][u8 kind][body]``
+
+with the 4-byte big-endian ``length`` covering the kind byte and the body.
+Peers exchange these frames over in-process loopback transports (see
+:mod:`repro.runtime.swarm`); nothing in the codec assumes loopback, so the
+same frames can later travel over real sockets.
+
+Two sizes exist per message and must not be confused:
+
+* the **physical frame size** (``len(encode(msg))``) — an implementation
+  detail of this codec, used only to move bytes;
+* the **accounted size** (:func:`ledger_entry`) — the paper's Section 5.4
+  costs from :mod:`repro.net.message` (a buffer map costs ``B`` bits plus
+  the 20-bit anchor, a DHT routing message 80 bits, a PING 80 bits, a data
+  segment its payload bits), which is what the
+  :class:`~repro.net.message.MessageLedger` records so the control- and
+  pre-fetch-overhead metrics stay exactly as defined.
+
+Segment payloads are synthetic (the reproduction never ships real media),
+so a :class:`SegmentData` frame carries the declared payload size instead
+of the payload bytes; the ledger charges the declared size.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Optional, Tuple, Union
+
+from repro.net.message import (
+    PING_MESSAGE_BITS,
+    ROUTING_MESSAGE_BITS,
+    MessageKind,
+)
+from repro.streaming.buffermap import BufferMap, buffer_map_bits
+
+#: Upper bound on one frame's payload (kind byte + body).  Generously above
+#: the largest legal message (a full 600-slot buffer map is ~90 bytes); a
+#: bigger length prefix means a corrupt or hostile stream.
+MAX_FRAME_PAYLOAD = 1 << 16
+
+#: Struct of the frame header: payload length (kind byte + body).
+_LEN = struct.Struct(">I")
+
+_U32_MAX = 0xFFFF_FFFF
+_U16_MAX = 0xFFFF
+
+
+class WireError(ValueError):
+    """Malformed frame: unknown kind, bad length, out-of-range field."""
+
+
+class TruncatedFrameError(WireError):
+    """The buffer ends before the frame does (wait for more bytes)."""
+
+
+class WireKind(IntEnum):
+    """On-the-wire message kinds (the u8 tag after the length prefix)."""
+
+    BUFFER_MAP = 1
+    SEGMENT_REQUEST = 2
+    SEGMENT_DATA = 3
+    DHT_LOOKUP = 4
+    DHT_RESPONSE = 5
+    PING = 6
+    PONG = 7
+    HANDOVER = 8
+    SEGMENT_NACK = 9
+
+
+# ===================================================================== messages
+@dataclass(frozen=True)
+class BufferMapMsg:
+    """Periodic buffer-map gossip: window anchor + packed availability bits.
+
+    ``newest_id`` piggybacks the sender's view of the stream's live edge, so
+    knowledge of the newest generated segment diffuses with the gossip
+    instead of needing a global oracle (``-1`` = no segment seen yet).
+    """
+
+    sender: int
+    newest_id: int
+    head_id: int
+    capacity: int
+    bitmap: bytes
+
+    def buffer_map(self) -> BufferMap:
+        """Decode the packed bits back into a :class:`BufferMap` snapshot."""
+        return BufferMap.from_bytes(self.head_id, self.capacity, self.bitmap)
+
+    @classmethod
+    def from_buffer_map(
+        cls, sender: int, newest_id: int, bm: BufferMap
+    ) -> "BufferMapMsg":
+        return cls(
+            sender=sender,
+            newest_id=newest_id,
+            head_id=bm.head_id,
+            capacity=bm.capacity,
+            bitmap=bm.to_bytes(),
+        )
+
+
+@dataclass(frozen=True)
+class SegmentRequest:
+    """Pull request for one segment (``prefetch`` = on-demand path)."""
+
+    sender: int
+    segment_id: int
+    prefetch: bool = False
+
+
+@dataclass(frozen=True)
+class SegmentData:
+    """One delivered segment; the payload is represented by its size."""
+
+    sender: int
+    segment_id: int
+    size_bits: int
+    prefetch: bool = False
+
+
+@dataclass(frozen=True)
+class SegmentNack:
+    """Refusal of a :class:`SegmentRequest` (uplink saturated or no data).
+
+    Lets the requester retry with a fallback supplier inside the same
+    period — the wire analogue of the simulator's within-round rerouting
+    when the chosen uplink's per-period budget is spent.
+    """
+
+    sender: int
+    segment_id: int
+    prefetch: bool = False
+
+
+@dataclass(frozen=True)
+class DhtLookup:
+    """A DHT routing message walking greedily towards ``target_key``.
+
+    ``path`` accumulates the nodes visited so far (the origin first), which
+    both terminates routing loops and feeds the overhearing-based peer-table
+    maintenance at every hop.
+    """
+
+    origin: int
+    target_key: int
+    segment_id: int
+    path: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DhtResponse:
+    """The terminal node's reply, sent directly back to the lookup origin."""
+
+    responder: int
+    origin: int
+    target_key: int
+    segment_id: int
+    has_data: bool
+    rate: float
+    path: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Membership probe (join-time neighbour contact)."""
+
+    sender: int
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Reply to a :class:`Ping` (echoes the nonce)."""
+
+    sender: int
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class Handover:
+    """Graceful-leave handover of a VoD backup store to the successor."""
+
+    sender: int
+    segment_bits: int
+    segment_ids: Tuple[int, ...]
+
+
+WireMessage = Union[
+    BufferMapMsg,
+    SegmentRequest,
+    SegmentData,
+    SegmentNack,
+    DhtLookup,
+    DhtResponse,
+    Ping,
+    Pong,
+    Handover,
+]
+
+
+# ====================================================================== encoding
+def _check_u32(value: int, name: str) -> int:
+    if not (0 <= value <= _U32_MAX):
+        raise WireError(f"{name} out of u32 range: {value}")
+    return value
+
+
+def _check_u16(value: int, name: str) -> int:
+    if not (0 <= value <= _U16_MAX):
+        raise WireError(f"{name} out of u16 range: {value}")
+    return value
+
+
+_BM_HEAD = struct.Struct(">IiIH")  # sender, newest (signed), head, capacity
+_REQ = struct.Struct(">IIB")
+_DATA = struct.Struct(">IIIB")
+_LOOKUP_HEAD = struct.Struct(">IIIH")
+_RESP_HEAD = struct.Struct(">IIIIBfH")
+_PINGPONG = struct.Struct(">II")
+_HANDOVER_HEAD = struct.Struct(">IIH")
+
+
+def _encode_path(path: Tuple[int, ...]) -> bytes:
+    _check_u16(len(path), "path length")
+    for node in path:
+        _check_u32(node, "path node id")
+    return struct.pack(f">{len(path)}I", *path)
+
+
+def _decode_ids(body: bytes, offset: int, count: int, what: str) -> Tuple[int, ...]:
+    need = 4 * count
+    if len(body) - offset != need:
+        raise WireError(
+            f"{what}: expected {need} bytes of ids, got {len(body) - offset}"
+        )
+    return struct.unpack_from(f">{count}I", body, offset)
+
+
+def encode(msg: WireMessage) -> bytes:
+    """Serialise one message into a length-prefixed frame."""
+    if isinstance(msg, BufferMapMsg):
+        if not (-1 <= msg.newest_id <= 0x7FFF_FFFF):
+            raise WireError(f"newest_id out of range: {msg.newest_id}")
+        _check_u32(msg.sender, "sender")
+        _check_u32(msg.head_id, "head_id")
+        _check_u16(msg.capacity, "capacity")
+        if msg.capacity < 1:
+            raise WireError("capacity must be >= 1")
+        if len(msg.bitmap) != (msg.capacity + 7) // 8:
+            raise WireError(
+                f"bitmap of capacity {msg.capacity} needs "
+                f"{(msg.capacity + 7) // 8} bytes, got {len(msg.bitmap)}"
+            )
+        payload = (
+            bytes([WireKind.BUFFER_MAP])
+            + _BM_HEAD.pack(msg.sender, msg.newest_id, msg.head_id, msg.capacity)
+            + msg.bitmap
+        )
+    elif isinstance(msg, SegmentRequest):
+        payload = bytes([WireKind.SEGMENT_REQUEST]) + _REQ.pack(
+            _check_u32(msg.sender, "sender"),
+            _check_u32(msg.segment_id, "segment_id"),
+            1 if msg.prefetch else 0,
+        )
+    elif isinstance(msg, SegmentNack):
+        payload = bytes([WireKind.SEGMENT_NACK]) + _REQ.pack(
+            _check_u32(msg.sender, "sender"),
+            _check_u32(msg.segment_id, "segment_id"),
+            1 if msg.prefetch else 0,
+        )
+    elif isinstance(msg, SegmentData):
+        payload = bytes([WireKind.SEGMENT_DATA]) + _DATA.pack(
+            _check_u32(msg.sender, "sender"),
+            _check_u32(msg.segment_id, "segment_id"),
+            _check_u32(msg.size_bits, "size_bits"),
+            1 if msg.prefetch else 0,
+        )
+    elif isinstance(msg, DhtLookup):
+        payload = (
+            bytes([WireKind.DHT_LOOKUP])
+            + _LOOKUP_HEAD.pack(
+                _check_u32(msg.origin, "origin"),
+                _check_u32(msg.target_key, "target_key"),
+                _check_u32(msg.segment_id, "segment_id"),
+                len(msg.path),
+            )
+            + _encode_path(msg.path)
+        )
+    elif isinstance(msg, DhtResponse):
+        payload = (
+            bytes([WireKind.DHT_RESPONSE])
+            + _RESP_HEAD.pack(
+                _check_u32(msg.responder, "responder"),
+                _check_u32(msg.origin, "origin"),
+                _check_u32(msg.target_key, "target_key"),
+                _check_u32(msg.segment_id, "segment_id"),
+                1 if msg.has_data else 0,
+                float(msg.rate),
+                len(msg.path),
+            )
+            + _encode_path(msg.path)
+        )
+    elif isinstance(msg, Ping):
+        payload = bytes([WireKind.PING]) + _PINGPONG.pack(
+            _check_u32(msg.sender, "sender"), _check_u32(msg.nonce, "nonce")
+        )
+    elif isinstance(msg, Pong):
+        payload = bytes([WireKind.PONG]) + _PINGPONG.pack(
+            _check_u32(msg.sender, "sender"), _check_u32(msg.nonce, "nonce")
+        )
+    elif isinstance(msg, Handover):
+        payload = (
+            bytes([WireKind.HANDOVER])
+            + _HANDOVER_HEAD.pack(
+                _check_u32(msg.sender, "sender"),
+                _check_u32(msg.segment_bits, "segment_bits"),
+                _check_u16(len(msg.segment_ids), "segment count"),
+            )
+            + struct.pack(
+                f">{len(msg.segment_ids)}I",
+                *(_check_u32(s, "segment_id") for s in msg.segment_ids),
+            )
+        )
+    else:
+        raise WireError(f"cannot encode {type(msg).__name__}")
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise WireError(f"frame payload too large: {len(payload)}")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode(buffer: Union[bytes, bytearray, memoryview], offset: int = 0) -> Tuple[WireMessage, int]:
+    """Decode one frame starting at ``offset``.
+
+    Returns ``(message, next_offset)``.
+
+    Raises:
+        TruncatedFrameError: the buffer ends mid-frame (feed more bytes).
+        WireError: the frame is malformed (unknown kind, bad sizes).
+    """
+    view = memoryview(buffer)
+    if len(view) - offset < _LEN.size:
+        raise TruncatedFrameError("incomplete length prefix")
+    (length,) = _LEN.unpack_from(view, offset)
+    if length < 1:
+        raise WireError("frame payload must hold at least the kind byte")
+    if length > MAX_FRAME_PAYLOAD:
+        raise WireError(f"frame payload too large: {length}")
+    start = offset + _LEN.size
+    if len(view) - start < length:
+        raise TruncatedFrameError(
+            f"frame needs {length} payload bytes, have {len(view) - start}"
+        )
+    payload = bytes(view[start : start + length])
+    kind_byte, body = payload[0], payload[1:]
+    try:
+        kind = WireKind(kind_byte)
+    except ValueError as exc:
+        raise WireError(f"unknown wire kind {kind_byte}") from exc
+    msg = _decode_body(kind, body)
+    return msg, start + length
+
+
+def _decode_body(kind: WireKind, body: bytes) -> WireMessage:
+    if kind is WireKind.BUFFER_MAP:
+        if len(body) < _BM_HEAD.size:
+            raise WireError("buffer-map body too short")
+        sender, newest, head, capacity = _BM_HEAD.unpack_from(body, 0)
+        bitmap = body[_BM_HEAD.size :]
+        if capacity < 1:
+            raise WireError("capacity must be >= 1")
+        if len(bitmap) != (capacity + 7) // 8:
+            raise WireError(
+                f"bitmap of capacity {capacity} needs {(capacity + 7) // 8} "
+                f"bytes, got {len(bitmap)}"
+            )
+        return BufferMapMsg(
+            sender=sender, newest_id=newest, head_id=head, capacity=capacity,
+            bitmap=bitmap,
+        )
+    if kind is WireKind.SEGMENT_REQUEST:
+        if len(body) != _REQ.size:
+            raise WireError("segment-request body size mismatch")
+        sender, segment_id, flags = _REQ.unpack(body)
+        return SegmentRequest(sender=sender, segment_id=segment_id, prefetch=bool(flags & 1))
+    if kind is WireKind.SEGMENT_NACK:
+        if len(body) != _REQ.size:
+            raise WireError("segment-nack body size mismatch")
+        sender, segment_id, flags = _REQ.unpack(body)
+        return SegmentNack(sender=sender, segment_id=segment_id, prefetch=bool(flags & 1))
+    if kind is WireKind.SEGMENT_DATA:
+        if len(body) != _DATA.size:
+            raise WireError("segment-data body size mismatch")
+        sender, segment_id, size_bits, flags = _DATA.unpack(body)
+        return SegmentData(
+            sender=sender, segment_id=segment_id, size_bits=size_bits,
+            prefetch=bool(flags & 1),
+        )
+    if kind is WireKind.DHT_LOOKUP:
+        if len(body) < _LOOKUP_HEAD.size:
+            raise WireError("dht-lookup body too short")
+        origin, key, segment_id, count = _LOOKUP_HEAD.unpack_from(body, 0)
+        path = _decode_ids(body, _LOOKUP_HEAD.size, count, "dht-lookup path")
+        return DhtLookup(origin=origin, target_key=key, segment_id=segment_id, path=path)
+    if kind is WireKind.DHT_RESPONSE:
+        if len(body) < _RESP_HEAD.size:
+            raise WireError("dht-response body too short")
+        responder, origin, key, segment_id, flags, rate, count = _RESP_HEAD.unpack_from(
+            body, 0
+        )
+        path = _decode_ids(body, _RESP_HEAD.size, count, "dht-response path")
+        return DhtResponse(
+            responder=responder, origin=origin, target_key=key,
+            segment_id=segment_id, has_data=bool(flags & 1), rate=rate, path=path,
+        )
+    if kind is WireKind.PING or kind is WireKind.PONG:
+        if len(body) != _PINGPONG.size:
+            raise WireError("ping/pong body size mismatch")
+        sender, nonce = _PINGPONG.unpack(body)
+        cls = Ping if kind is WireKind.PING else Pong
+        return cls(sender=sender, nonce=nonce)
+    if kind is WireKind.HANDOVER:
+        if len(body) < _HANDOVER_HEAD.size:
+            raise WireError("handover body too short")
+        sender, segment_bits, count = _HANDOVER_HEAD.unpack_from(body, 0)
+        ids = _decode_ids(body, _HANDOVER_HEAD.size, count, "handover ids")
+        return Handover(sender=sender, segment_bits=segment_bits, segment_ids=ids)
+    raise WireError(f"unhandled wire kind {kind!r}")  # pragma: no cover
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream of concatenated frames.
+
+    Feed arbitrary chunks (frames may arrive split or coalesced, exactly as
+    on a TCP stream); complete messages come back in order, partial bytes
+    are buffered until the rest arrives.  A malformed frame raises
+    :class:`WireError` and poisons the stream (a real transport would close
+    the connection).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> List[WireMessage]:
+        """Absorb ``chunk`` and return every now-complete message."""
+        self._buffer.extend(chunk)
+        messages: List[WireMessage] = []
+        offset = 0
+        buffer = self._buffer
+        available = len(buffer)
+        # Peek the length prefix so the common "buffer drained" exit is a
+        # cheap comparison rather than a raised TruncatedFrameError.
+        while available - offset >= _LEN.size:
+            (length,) = _LEN.unpack_from(buffer, offset)
+            if length <= MAX_FRAME_PAYLOAD and available - offset - _LEN.size < length:
+                break
+            msg, offset = decode(buffer, offset)
+            messages.append(msg)
+        if offset:
+            del buffer[:offset]
+        return messages
+
+
+# ================================================================== accounting
+def ledger_entry(msg: WireMessage) -> Optional[Tuple[MessageKind, float]]:
+    """The ``(kind, bits)`` a :class:`MessageLedger` must record for ``msg``.
+
+    Sizes reconcile against :mod:`repro.net.message` / Section 5.4 of the
+    paper — NOT against the physical frame length:
+
+    * buffer map — ``capacity + 20`` anchor bits (:func:`buffer_map_bits`);
+    * data segment — the declared payload size (``segment_bits``), under
+      ``DATA_PREFETCH`` or ``DATA_SCHEDULED`` per the delivery path;
+    * DHT lookup hop / response — ``ROUTING_MESSAGE_BITS`` (80) each;
+    * PING / PONG / handover notice — ``PING_MESSAGE_BITS`` (80) each,
+      under ``MEMBERSHIP``.
+
+    Returns ``None`` for messages the paper's overhead metrics do not
+    count (pull requests are treated as free control signalling, exactly
+    as in the round simulator).
+    """
+    if isinstance(msg, BufferMapMsg):
+        return (MessageKind.BUFFER_MAP, float(buffer_map_bits(msg.capacity)))
+    if isinstance(msg, SegmentData):
+        kind = MessageKind.DATA_PREFETCH if msg.prefetch else MessageKind.DATA_SCHEDULED
+        return (kind, float(msg.size_bits))
+    if isinstance(msg, (DhtLookup, DhtResponse)):
+        return (MessageKind.DHT_ROUTING, float(ROUTING_MESSAGE_BITS))
+    if isinstance(msg, (Ping, Pong, Handover)):
+        return (MessageKind.MEMBERSHIP, float(PING_MESSAGE_BITS))
+    if isinstance(msg, (SegmentRequest, SegmentNack)):
+        return None
+    raise WireError(f"no ledger rule for {type(msg).__name__}")

@@ -22,7 +22,9 @@ A *campaign* fans a scenario × system × node-count × seed grid across
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
+import traceback
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -79,6 +81,19 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
         metrics=metrics,
         wall_time_s=wall_time,
     ).to_record()
+
+
+def _cell_coordinates(payloads: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """The identifying coordinates of not-yet-finished cells (no spec dump)."""
+    return [
+        {
+            "scenario": payload["scenario"]["name"],
+            "system": payload["system"],
+            "num_nodes": payload["num_nodes"],
+            "seed": payload["seed"],
+        }
+        for payload in payloads
+    ]
 
 
 @dataclass(frozen=True)
@@ -171,17 +186,41 @@ class CampaignRunner:
         complete — in grid order either way, so an interrupted campaign
         keeps its finished prefix and a finished one is identical
         regardless of worker count.
+
+        A ``KeyboardInterrupt`` (Ctrl-C) or a dying worker does not lose
+        the run: the cells already finished stay flushed to the JSONL
+        file, the store is marked incomplete with the reason and the
+        missing cell coordinates, and the partial store is returned
+        instead of the exception propagating.
         """
         payloads = self.campaign.cell_payloads()
         store = store if store is not None else ResultsStore()
-        if self.workers > 1 and len(payloads) > 1:
-            processes = min(self.workers, len(payloads))
-            with multiprocessing.get_context().Pool(processes=processes) as pool:
-                for record in pool.imap(run_cell, payloads):
-                    store.append(CellResult.from_record(record))
-        else:
-            for payload in payloads:
-                store.append(CellResult.from_record(run_cell(payload)))
+        completed = 0
+        try:
+            if self.workers > 1 and len(payloads) > 1:
+                processes = min(self.workers, len(payloads))
+                with multiprocessing.get_context().Pool(processes=processes) as pool:
+                    for record in pool.imap(run_cell, payloads):
+                        store.append(CellResult.from_record(record))
+                        completed += 1
+            else:
+                for payload in payloads:
+                    store.append(CellResult.from_record(run_cell(payload)))
+                    completed += 1
+        except KeyboardInterrupt:
+            store.mark_incomplete(
+                "interrupted by user (KeyboardInterrupt)",
+                missing_cells=_cell_coordinates(payloads[completed:]),
+            )
+        except Exception as exc:  # worker death or a failing cell
+            # Keep the full traceback visible — the store only records a
+            # one-line reason, and silently eating the details would make
+            # a broken run_cell much harder to debug.
+            traceback.print_exc(file=sys.stderr)
+            store.mark_incomplete(
+                f"worker failed: {type(exc).__name__}: {exc}",
+                missing_cells=_cell_coordinates(payloads[completed:]),
+            )
         return store
 
 

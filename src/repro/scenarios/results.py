@@ -85,6 +85,8 @@ class ResultsStore:
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
         self.path = Path(path) if path is not None else None
         self._results: List[CellResult] = []
+        self.incomplete_reason: Optional[str] = None
+        self.missing_cells: List[Dict[str, Any]] = []
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self.path.write_text("", encoding="utf-8")
@@ -96,6 +98,32 @@ class ResultsStore:
         if self.path is not None:
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(json.dumps(result.to_record(), sort_keys=True) + "\n")
+
+    @property
+    def is_complete(self) -> bool:
+        """False once :meth:`mark_incomplete` has recorded an aborted run."""
+        return self.incomplete_reason is None
+
+    def mark_incomplete(
+        self, reason: str, missing_cells: Optional[List[Dict[str, Any]]] = None
+    ) -> None:
+        """Record that the campaign aborted before sweeping every cell.
+
+        The cells finished so far stay in the store (and were already
+        streamed to the JSONL file line by line); a trailing marker line
+        records why the run stopped and which grid cells are missing, so a
+        partial results file is self-describing instead of silently looking
+        like a smaller campaign.
+        """
+        self.incomplete_reason = str(reason)
+        self.missing_cells = [dict(cell) for cell in (missing_cells or [])]
+        if self.path is not None:
+            marker = {
+                "incomplete_reason": self.incomplete_reason,
+                "missing_cells": self.missing_cells,
+            }
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(marker, sort_keys=True) + "\n")
 
     def __len__(self) -> int:
         return len(self._results)
@@ -113,8 +141,14 @@ class ResultsStore:
         store = cls()
         for line in Path(path).read_text(encoding="utf-8").splitlines():
             line = line.strip()
-            if line:
-                store._results.append(CellResult.from_record(json.loads(line)))
+            if not line:
+                continue
+            record = json.loads(line)
+            if "incomplete_reason" in record:
+                store.incomplete_reason = record["incomplete_reason"]
+                store.missing_cells = list(record.get("missing_cells", []))
+                continue
+            store._results.append(CellResult.from_record(record))
         return store
 
     # ---------------------------------------------------------------- aggregation
@@ -156,14 +190,34 @@ class ResultsStore:
         return float(sum(result.wall_time_s for result in self._results))
 
     def write_summary(self, path: Union[str, Path]) -> Path:
-        """Write :meth:`summary` as pretty-printed, key-sorted JSON."""
+        """Write :meth:`summary` as pretty-printed, key-sorted JSON.
+
+        An aborted campaign's summary additionally carries a top-level
+        ``__incomplete__`` entry (reason + missing cell coordinates); a
+        completed campaign's file is unchanged.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, Any] = dict(self.summary())
+        if not self.is_complete:
+            payload["__incomplete__"] = {
+                "reason": self.incomplete_reason,
+                "missing_cells": self.missing_cells,
+            }
         path.write_text(
-            json.dumps(self.summary(), indent=2, sort_keys=True) + "\n",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         return path
+
+    def format_incomplete(self) -> str:
+        """One warning line for an aborted campaign ('' when complete)."""
+        if self.is_complete:
+            return ""
+        return (
+            f"WARNING: campaign incomplete ({self.incomplete_reason}); "
+            f"{len(self)} cells finished, {len(self.missing_cells)} missing"
+        )
 
     # ------------------------------------------------------------------ rendering
     def format_results(self) -> str:

@@ -106,3 +106,33 @@ class BufferMap:
         bits = np.asarray(list(bitmap), dtype=np.uint8)
         present = frozenset(int(head_id + j) for j in np.nonzero(bits)[0])
         return cls(head_id=int(head_id), capacity=int(bits.size), present=present)
+
+    # --------------------------------------------------------------- wire form
+    def to_bytes(self) -> bytes:
+        """Packed availability bits (8 slots per byte, zero-padded at the end).
+
+        This is the byte payload the live runtime's wire codec ships; the
+        *accounted* size stays :func:`buffer_map_bits` (``B`` bits + anchor),
+        so the overhead metrics are unaffected by the byte padding.
+        """
+        return np.packbits(self.to_bitmap()).tobytes()
+
+    @classmethod
+    def from_bytes(cls, head_id: int, capacity: int, data: bytes) -> "BufferMap":
+        """Rebuild a buffer map from its packed :meth:`to_bytes` payload.
+
+        Raises:
+            ValueError: if ``data`` does not hold exactly ``capacity`` bits
+                (rounded up to whole bytes).
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        expected = (capacity + 7) // 8
+        if len(data) != expected:
+            raise ValueError(
+                f"packed buffer map of capacity {capacity} needs {expected} "
+                f"bytes, got {len(data)}"
+            )
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))[:capacity]
+        present = frozenset((np.nonzero(bits)[0] + int(head_id)).tolist())
+        return cls(head_id=int(head_id), capacity=int(capacity), present=present)

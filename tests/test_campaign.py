@@ -261,10 +261,90 @@ class TestCampaignCli:
         assert "seed=7" in output and "seed=8" in output
         assert "seed=0" not in output
 
-    def test_all_excludes_campaign(self):
-        parser_names = [
-            name for name in cli_runner.COMMANDS if name != "campaign"
-        ]
-        # mirror of main()'s "all" expansion
+    def test_all_excludes_campaign_and_runtime(self):
         assert "campaign" in cli_runner.COMMANDS
-        assert "campaign" not in parser_names
+        assert "runtime" in cli_runner.COMMANDS
+        assert "campaign" in cli_runner._EXCLUDED_FROM_ALL
+        assert "runtime" in cli_runner._EXCLUDED_FROM_ALL
+
+
+class TestIncompleteCampaigns:
+    """Interrupts and worker death flush partial results instead of losing them."""
+
+    def test_keyboard_interrupt_flushes_partial_jsonl(self, tmp_path, monkeypatch):
+        from repro.scenarios import campaign as campaign_mod
+
+        campaign = CampaignSpec(scenarios=tiny_scenarios(), seeds=(0, 1))
+        assert len(campaign.cell_payloads()) == 4
+        original = campaign_mod.run_cell
+        calls = {"done": 0}
+
+        def interrupted_run_cell(payload):
+            if calls["done"] >= 2:
+                raise KeyboardInterrupt
+            calls["done"] += 1
+            return original(payload)
+
+        monkeypatch.setattr(campaign_mod, "run_cell", interrupted_run_cell)
+        path = tmp_path / "results.jsonl"
+        store = CampaignRunner(campaign, workers=1).run(ResultsStore(path=path))
+        assert len(store) == 2
+        assert not store.is_complete
+        assert "KeyboardInterrupt" in store.incomplete_reason
+        assert len(store.missing_cells) == 2
+        for cell in store.missing_cells:
+            assert set(cell) == {"scenario", "system", "num_nodes", "seed"}
+        # the finished prefix and the marker both survived on disk
+        loaded = ResultsStore.load(path)
+        assert len(loaded) == 2
+        assert not loaded.is_complete
+        assert loaded.incomplete_reason == store.incomplete_reason
+        assert loaded.missing_cells == store.missing_cells
+
+    def test_worker_failure_marks_incomplete_instead_of_raising(self, tmp_path):
+        good = tiny_scenarios()[0].scaled(rounds=2)
+        bad = ScenarioSpec.from_dict(
+            {
+                **good.to_dict(),
+                "name": "bad-cell",
+                # passes spec validation, explodes inside the worker's
+                # SystemConfig construction — a deterministic worker death
+                "config_overrides": {"no_such_config_option": 1},
+            }
+        )
+        campaign = CampaignSpec(scenarios=(good, bad), seeds=(0,))
+        path = tmp_path / "results.jsonl"
+        store = CampaignRunner(campaign, workers=2).run(ResultsStore(path=path))
+        assert len(store) == 1
+        assert not store.is_complete
+        assert store.incomplete_reason.startswith("worker failed")
+        assert [cell["scenario"] for cell in store.missing_cells] == ["bad-cell"]
+
+    def test_incomplete_summary_file_is_self_describing(self, tmp_path, monkeypatch):
+        from repro.scenarios import campaign as campaign_mod
+
+        campaign = CampaignSpec(scenarios=tiny_scenarios()[:1], seeds=(0, 1))
+
+        def always_interrupt(payload):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(campaign_mod, "run_cell", always_interrupt)
+        store = CampaignRunner(campaign, workers=1).run()
+        summary_path = tmp_path / "summary.json"
+        store.write_summary(summary_path)
+        payload = json.loads(summary_path.read_text())
+        assert "__incomplete__" in payload
+        assert payload["__incomplete__"]["reason"] == store.incomplete_reason
+        assert len(payload["__incomplete__"]["missing_cells"]) == 2
+        assert "WARNING" in store.format_incomplete()
+
+    def test_complete_campaign_stays_unmarked(self, tmp_path):
+        store = run_campaign(
+            [tiny_scenarios()[0].scaled(rounds=2)],
+            seeds=(0,),
+            results_path=tmp_path / "results.jsonl",
+        )
+        assert store.is_complete
+        assert store.format_incomplete() == ""
+        summary_path = store.write_summary(tmp_path / "summary.json")
+        assert "__incomplete__" not in json.loads(summary_path.read_text())

@@ -160,6 +160,54 @@ class TestMessageLedger:
         b.merge(a)
         assert b.bits_of(MessageKind.DATA_SCHEDULED) == 150
 
+    def test_totals_sum_every_kind(self):
+        ledger = MessageLedger()
+        ledger.record(MessageKind.BUFFER_MAP, 620, count=2)
+        ledger.record(MessageKind.DHT_ROUTING, 160, count=2)
+        ledger.record(MessageKind.MEMBERSHIP, 80)
+        assert ledger.total_bits() == 620 + 160 + 80
+        assert ledger.total_count() == 5
+        assert MessageLedger().total_bits() == 0.0
+        assert MessageLedger().total_count() == 0
+
+    def test_merged_per_peer_ledgers_equal_one_global_ledger(self):
+        # The live runtime's accumulation model: every peer records into
+        # its own ledger (no shared mutable state), and the swarm reduces
+        # them with merge afterwards — totals must match a single global
+        # ledger that saw the same traffic, in any reduction order.
+        traffic = [
+            (MessageKind.BUFFER_MAP, 620.0, 3),
+            (MessageKind.DATA_SCHEDULED, 30 * 1024.0, 2),
+            (MessageKind.DHT_ROUTING, 80.0, 7),
+            (MessageKind.MEMBERSHIP, 80.0, 1),
+            (MessageKind.DATA_PREFETCH, 30 * 1024.0, 1),
+        ]
+        per_peer = []
+        global_ledger = MessageLedger()
+        for i, (kind, bits, count) in enumerate(traffic * 3):
+            peer = MessageLedger()
+            peer.record(kind, bits * (i + 1), count=count)
+            global_ledger.record(kind, bits * (i + 1), count=count)
+            per_peer.append(peer)
+        forward = MessageLedger.merged(per_peer)
+        backward = MessageLedger.merged(list(reversed(per_peer)))
+        for kind in MessageKind:
+            assert forward.bits_of(kind) == pytest.approx(global_ledger.bits_of(kind))
+            assert backward.bits_of(kind) == pytest.approx(global_ledger.bits_of(kind))
+            assert forward.count_of(kind) == global_ledger.count_of(kind)
+        # the inputs are untouched by the reduction
+        assert per_peer[0].total_count() == traffic[0][2]
+
+    def test_snapshot_is_detached_in_both_directions(self):
+        live = MessageLedger()
+        live.record(MessageKind.BUFFER_MAP, 620)
+        frozen = live.snapshot()
+        live.record(MessageKind.BUFFER_MAP, 620)
+        frozen.record(MessageKind.MEMBERSHIP, 80)
+        assert frozen.bits_of(MessageKind.BUFFER_MAP) == 620
+        assert live.bits_of(MessageKind.BUFFER_MAP) == 1240
+        assert live.bits_of(MessageKind.MEMBERSHIP) == 0.0
+
     def test_reset(self):
         ledger = MessageLedger()
         ledger.record(MessageKind.MEMBERSHIP, 80)

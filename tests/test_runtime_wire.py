@@ -1,0 +1,268 @@
+"""Exhaustive round-trip and robustness tests for the runtime wire codec."""
+
+import pytest
+
+from repro.net.message import (
+    PING_MESSAGE_BITS,
+    ROUTING_MESSAGE_BITS,
+    MessageKind,
+)
+from repro.runtime import wire
+from repro.streaming.buffer import SegmentBuffer
+from repro.streaming.buffermap import BufferMap, buffer_map_bits
+
+
+def sample_messages():
+    """At least one instance of every wire kind, plus boundary payloads."""
+    full_map = BufferMap(head_id=0, capacity=600, present=frozenset(range(600)))
+    empty_map = BufferMap(head_id=7, capacity=600, present=frozenset())
+    tiny_map = BufferMap(head_id=0, capacity=1, present=frozenset([0]))
+    odd_map = BufferMap(head_id=3, capacity=13, present=frozenset([3, 9, 15]))
+    return [
+        # -- buffer maps: fresh stream (-1 edge), full, empty, 1-slot, odd size
+        wire.BufferMapMsg.from_buffer_map(0, -1, tiny_map),
+        wire.BufferMapMsg.from_buffer_map(1, 0, odd_map),
+        wire.BufferMapMsg.from_buffer_map(8191, 2**31 - 1, full_map),
+        wire.BufferMapMsg.from_buffer_map(42, 599, empty_map),
+        # -- segment transfer plane
+        wire.SegmentRequest(sender=0, segment_id=0),
+        wire.SegmentRequest(sender=2**32 - 1, segment_id=2**32 - 1, prefetch=True),
+        wire.SegmentData(sender=1, segment_id=2, size_bits=30 * 1024),
+        wire.SegmentData(sender=3, segment_id=4, size_bits=0, prefetch=True),
+        wire.SegmentNack(sender=9, segment_id=11),
+        wire.SegmentNack(sender=9, segment_id=11, prefetch=True),
+        # -- DHT plane: empty-ish and long paths
+        wire.DhtLookup(origin=5, target_key=1234, segment_id=77, path=(5,)),
+        wire.DhtLookup(
+            origin=5, target_key=0, segment_id=0, path=tuple(range(64))
+        ),
+        wire.DhtResponse(
+            responder=6, origin=5, target_key=1234, segment_id=77,
+            has_data=True, rate=12.5, path=(5, 6),
+        ),
+        wire.DhtResponse(
+            responder=6, origin=5, target_key=8191, segment_id=0,
+            has_data=False, rate=0.0, path=(),
+        ),
+        # -- membership plane
+        wire.Ping(sender=0, nonce=0),
+        wire.Ping(sender=17, nonce=2**32 - 1),
+        wire.Pong(sender=18, nonce=3),
+        wire.Handover(sender=4, segment_bits=30 * 1024, segment_ids=()),
+        wire.Handover(
+            sender=4, segment_bits=30 * 1024, segment_ids=tuple(range(100))
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_every_wire_kind_is_covered(self):
+        covered = set()
+        for msg in sample_messages():
+            decoded, _ = wire.decode(wire.encode(msg))
+            covered.add(type(decoded).__name__)
+        by_kind = {
+            wire.WireKind.BUFFER_MAP: "BufferMapMsg",
+            wire.WireKind.SEGMENT_REQUEST: "SegmentRequest",
+            wire.WireKind.SEGMENT_DATA: "SegmentData",
+            wire.WireKind.SEGMENT_NACK: "SegmentNack",
+            wire.WireKind.DHT_LOOKUP: "DhtLookup",
+            wire.WireKind.DHT_RESPONSE: "DhtResponse",
+            wire.WireKind.PING: "Ping",
+            wire.WireKind.PONG: "Pong",
+            wire.WireKind.HANDOVER: "Handover",
+        }
+        assert set(by_kind) == set(wire.WireKind), "update the map for new kinds"
+        assert covered == set(by_kind.values())
+
+    @pytest.mark.parametrize(
+        "msg", sample_messages(), ids=lambda m: type(m).__name__
+    )
+    def test_round_trip_identity(self, msg):
+        frame = wire.encode(msg)
+        decoded, consumed = wire.decode(frame)
+        assert consumed == len(frame)
+        if isinstance(msg, wire.DhtResponse):
+            # float32 on the wire: compare the rate at that precision.
+            assert decoded.responder == msg.responder
+            assert decoded.origin == msg.origin
+            assert decoded.target_key == msg.target_key
+            assert decoded.segment_id == msg.segment_id
+            assert decoded.has_data == msg.has_data
+            assert decoded.path == msg.path
+            assert decoded.rate == pytest.approx(msg.rate, rel=1e-6)
+        else:
+            assert decoded == msg
+
+    def test_buffer_map_payload_round_trips_exactly(self):
+        buffer = SegmentBuffer(capacity=600)
+        for sid in (0, 1, 17, 256, 599):
+            buffer.add(sid)
+        original = BufferMap.from_buffer(buffer)
+        msg = wire.BufferMapMsg.from_buffer_map(3, 599, original)
+        decoded, _ = wire.decode(wire.encode(msg))
+        rebuilt = decoded.buffer_map()
+        assert rebuilt.head_id == original.head_id
+        assert rebuilt.capacity == original.capacity
+        assert rebuilt.present == original.present
+
+    def test_concatenated_frames_decode_in_order(self):
+        msgs = sample_messages()
+        stream = b"".join(wire.encode(m) for m in msgs)
+        offset = 0
+        decoded = []
+        while offset < len(stream):
+            msg, offset = wire.decode(stream, offset)
+            decoded.append(msg)
+        assert len(decoded) == len(msgs)
+        assert [type(m) for m in decoded] == [type(m) for m in msgs]
+
+
+class TestTruncationAndCorruption:
+    @pytest.mark.parametrize(
+        "msg", sample_messages(), ids=lambda m: type(m).__name__
+    )
+    def test_every_proper_prefix_is_rejected_as_truncated(self, msg):
+        frame = wire.encode(msg)
+        for cut in range(len(frame)):
+            with pytest.raises(wire.TruncatedFrameError):
+                wire.decode(frame[:cut])
+
+    def test_unknown_kind_rejected(self):
+        frame = bytearray(wire.encode(wire.Ping(sender=1)))
+        frame[4] = 0xEE  # the kind byte
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(frame))
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.decode(b"\x00\x00\x00\x00")
+
+    def test_oversized_length_prefix_rejected(self):
+        header = (wire.MAX_FRAME_PAYLOAD + 1).to_bytes(4, "big")
+        with pytest.raises(wire.WireError):
+            wire.decode(header + b"\x00" * 16)
+
+    def test_body_size_mismatch_rejected(self):
+        # A ping frame whose declared length covers one extra byte.
+        good = wire.encode(wire.Ping(sender=1, nonce=2))
+        bad = (len(good) - 4 + 1).to_bytes(4, "big") + good[4:] + b"\x00"
+        with pytest.raises(wire.WireError):
+            wire.decode(bad)
+
+    def test_bitmap_size_mismatch_rejected(self):
+        msg = wire.BufferMapMsg.from_buffer_map(
+            1, 5, BufferMap(head_id=0, capacity=16, present=frozenset([1]))
+        )
+        frame = bytearray(wire.encode(msg))
+        frame[-2:] = b""  # drop a bitmap byte
+        frame[0:4] = (len(frame) - 4 - 2 + 2).to_bytes(4, "big")
+        frame[0:4] = (len(frame) - 4).to_bytes(4, "big")
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(frame))
+
+    def test_out_of_range_fields_rejected_at_encode(self):
+        with pytest.raises(wire.WireError):
+            wire.encode(wire.Ping(sender=2**32))
+        with pytest.raises(wire.WireError):
+            wire.encode(wire.SegmentRequest(sender=-1, segment_id=0))
+        with pytest.raises(wire.WireError):
+            wire.encode(
+                wire.BufferMapMsg(
+                    sender=1, newest_id=-2, head_id=0, capacity=8, bitmap=b"\x00"
+                )
+            )
+        with pytest.raises(wire.WireError):
+            wire.encode(
+                wire.BufferMapMsg(
+                    sender=1, newest_id=0, head_id=0, capacity=16, bitmap=b"\x00"
+                )
+            )
+
+
+class TestFrameDecoder:
+    def test_single_byte_feeds_reassemble_every_message(self):
+        msgs = sample_messages()
+        stream = b"".join(wire.encode(m) for m in msgs)
+        decoder = wire.FrameDecoder()
+        decoded = []
+        for i in range(len(stream)):
+            decoded.extend(decoder.feed(stream[i : i + 1]))
+        assert len(decoded) == len(msgs)
+        assert decoder.pending_bytes == 0
+
+    def test_coalesced_feed_returns_all_messages_at_once(self):
+        msgs = sample_messages()
+        stream = b"".join(wire.encode(m) for m in msgs)
+        decoder = wire.FrameDecoder()
+        decoded = decoder.feed(stream)
+        assert len(decoded) == len(msgs)
+
+    def test_split_across_frame_boundary(self):
+        a = wire.encode(wire.Ping(sender=1, nonce=2))
+        b = wire.encode(wire.Pong(sender=3, nonce=4))
+        decoder = wire.FrameDecoder()
+        first = decoder.feed(a + b[:3])
+        assert [type(m) for m in first] == [wire.Ping]
+        assert decoder.pending_bytes == 3
+        second = decoder.feed(b[3:])
+        assert [type(m) for m in second] == [wire.Pong]
+
+    def test_malformed_frame_poisons_the_stream(self):
+        decoder = wire.FrameDecoder()
+        with pytest.raises(wire.WireError):
+            decoder.feed(b"\x00\x00\x00\x01\xee")
+
+
+class TestLedgerAccounting:
+    """Accounted sizes reconcile against net/message.py, not frame lengths."""
+
+    def test_buffer_map_costs_capacity_plus_anchor(self):
+        for capacity in (1, 13, 600):
+            msg = wire.BufferMapMsg.from_buffer_map(
+                1, 5, BufferMap(head_id=0, capacity=capacity, present=frozenset())
+            )
+            kind, bits = wire.ledger_entry(msg)
+            assert kind is MessageKind.BUFFER_MAP
+            assert bits == buffer_map_bits(capacity)
+            # ...and is decoupled from the physical frame size.
+            assert bits != len(wire.encode(msg)) * 8
+
+    def test_data_costs_declared_payload_by_path(self):
+        scheduled = wire.SegmentData(sender=1, segment_id=2, size_bits=30 * 1024)
+        prefetched = wire.SegmentData(
+            sender=1, segment_id=2, size_bits=30 * 1024, prefetch=True
+        )
+        assert wire.ledger_entry(scheduled) == (
+            MessageKind.DATA_SCHEDULED, 30 * 1024.0,
+        )
+        assert wire.ledger_entry(prefetched) == (
+            MessageKind.DATA_PREFETCH, 30 * 1024.0,
+        )
+
+    def test_dht_messages_cost_80_bits(self):
+        lookup = wire.DhtLookup(origin=1, target_key=2, segment_id=3, path=(1,))
+        response = wire.DhtResponse(
+            responder=2, origin=1, target_key=2, segment_id=3,
+            has_data=True, rate=1.0, path=(1, 2),
+        )
+        assert wire.ledger_entry(lookup) == (
+            MessageKind.DHT_ROUTING, float(ROUTING_MESSAGE_BITS),
+        )
+        assert wire.ledger_entry(response) == (
+            MessageKind.DHT_ROUTING, float(ROUTING_MESSAGE_BITS),
+        )
+
+    def test_membership_messages_cost_ping_bits(self):
+        for msg in (
+            wire.Ping(sender=1),
+            wire.Pong(sender=1),
+            wire.Handover(sender=1, segment_bits=8, segment_ids=(1, 2)),
+        ):
+            assert wire.ledger_entry(msg) == (
+                MessageKind.MEMBERSHIP, float(PING_MESSAGE_BITS),
+            )
+
+    def test_pull_requests_are_not_charged(self):
+        assert wire.ledger_entry(wire.SegmentRequest(sender=1, segment_id=2)) is None
+        assert wire.ledger_entry(wire.SegmentNack(sender=1, segment_id=2)) is None
