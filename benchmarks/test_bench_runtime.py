@@ -7,6 +7,16 @@ wall second, delivered segments per wall second, and the stable continuity
 each swarm still reached.  This artifact seeds the runtime performance
 trajectory — future event-loop, codec or transport optimisations must move
 ``messages_per_s`` up without dropping ``stable_continuity``.
+
+Since the bounded-transport PR the numbers are *honest*: transports are
+credit-gated and bounded, and an overloaded swarm dilates its schedule
+coherently (reported as ``clock_dilations`` / ``clock_dilation_s``)
+instead of letting peers drift apart — so ``messages_per_s`` measures the
+throughput the loop can actually sustain **while streaming correctly**
+(``stable_continuity`` stays high), not a collapse regime.  The previous
+12-round horizon also ended mid-startup-ramp (the simulator itself only
+reaches ~0.73 there); 30 rounds gives the stable phase the continuity
+number refers to.
 """
 
 from __future__ import annotations
@@ -20,16 +30,18 @@ from repro.scenarios import builtin_scenario
 SMALL_SIZES = [50, 200]
 PAPER_SIZES = [50, 200, 400]
 
-#: Rounds per swarm — enough for steady-state traffic, short enough for CI.
-SMALL_ROUNDS = 12
+#: Rounds per swarm — long enough for a real stable phase (trailing third
+#: past the startup ramp), short enough for CI.
+SMALL_ROUNDS = 30
 PAPER_ROUNDS = 30
 
 
 def _run_one(num_nodes: int, rounds: int):
     spec = builtin_scenario("static").scaled(num_nodes=num_nodes, rounds=rounds)
     # Push the clock: ~25 ms of wall time per simulated second at 50 peers,
-    # growing with swarm size so bigger swarms are not starved into
-    # overrun-dominated measurements.
+    # growing with swarm size.  Overload is expected and *wanted* here —
+    # the adaptive dilation stretches the schedule to the sustainable
+    # rate, which is exactly the ceiling this benchmark measures.
     time_scale = 0.0005 * num_nodes
     return LiveSwarm(spec, time_scale=time_scale).run()
 
@@ -56,19 +68,26 @@ def test_bench_runtime(benchmark):
             "stable_continuity": round(result.stable_continuity(), 4),
             "control_overhead": round(result.control_overhead(), 4),
             "prefetch_overhead": round(result.prefetch_overhead(), 4),
+            "clock_dilations": result.clock_dilations,
+            "clock_dilation_s": round(result.clock_dilation_s, 4),
+            "transport": result.transport.to_dict(),
         }
     path = write_bench_artifact("runtime", artifact)
 
     lines = [
         f"n={size}: {entry['messages_per_s']:.0f} msg/s, "
         f"{entry['segments_per_s']:.0f} seg/s, "
-        f"continuity {entry['stable_continuity']:.3f}"
+        f"continuity {entry['stable_continuity']:.3f}, "
+        f"dilated {entry['clock_dilations']}x, "
+        f"stalls {entry['transport']['send_stalls']}"
         for size, entry in artifact.items()
     ]
     print("\n" + "\n".join(lines) + f"\nartifact: {path}")
 
     for size, entry in artifact.items():
-        # the swarm must actually stream and move real traffic
+        # the swarm must actually stream and move real traffic — and with
+        # coherent pacing, overload must no longer collapse continuity
+        # (tests/test_runtime_backpressure.py pins the 200-peer case ≥0.9)
         assert entry["messages_per_s"] > 0, size
         assert entry["segments_delivered"] > 0, size
-        assert entry["stable_continuity"] > 0.0, size
+        assert entry["stable_continuity"] > 0.5, size

@@ -52,13 +52,21 @@ def summarize_runs(values: Iterable[float]) -> Dict[str, float]:
     }
 
 
-def summarize_ledger(ledger: MessageLedger) -> Dict[str, float]:
+def summarize_ledger(
+    ledger: MessageLedger, transport: Optional[object] = None
+) -> Dict[str, float]:
     """Named scalar facts of one traffic ledger.
 
     One flat dict per ledger — bits and message counts per kind plus the
     paper's two overhead ratios — shared by the live-runtime CLI, the
     runtime benchmarks and ad-hoc analysis so every surface reports the
     same numbers under the same names.
+
+    When a runtime :class:`~repro.runtime.transport.TransportSummary` (or
+    anything with a compatible ``to_dict``) is given, its flow-control
+    facts join the summary under ``transport_*`` keys — queue
+    high-watermarks, send stalls and shed frames belong next to the
+    traffic they throttled.
     """
     summary: Dict[str, float] = {}
     for kind in ledger.bits:
@@ -68,6 +76,9 @@ def summarize_ledger(ledger: MessageLedger) -> Dict[str, float]:
     summary["total_messages"] = float(ledger.total_count())
     summary["control_overhead"] = float(ledger.control_overhead())
     summary["prefetch_overhead"] = float(ledger.prefetch_overhead())
+    if transport is not None:
+        for key, value in transport.to_dict().items():
+            summary[f"transport_{key}"] = float(value)
     return summary
 
 

@@ -16,10 +16,12 @@ Usage (installed as ``continustreaming-experiments``)::
     # scenario campaigns (see docs/scenarios.md):
     continustreaming-experiments campaign --scenario flash-crowd --seeds 4 --workers 4
     continustreaming-experiments campaign --scenario my-spec.yaml --out results/
+    continustreaming-experiments campaign --backend runtime --scenario static --seeds 3
 
     # live asyncio runtime (see docs/runtime.md):
     continustreaming-experiments runtime --scenario static --nodes 50 --rounds 20
     continustreaming-experiments runtime --parity --nodes 200 --rounds 60 --time-scale 0.5
+    continustreaming-experiments runtime --parity-matrix --clock virtual --nodes 120
 
 ``--scale paper`` uses the paper's node counts (slow: thousands of nodes);
 ``--scale small`` (default) uses laptop-friendly sizes that preserve the
@@ -181,6 +183,8 @@ def cmd_campaign(args: argparse.Namespace) -> str:
             rounds=args.rounds,
             workers=args.workers,
             results_path=results_path,
+            backend=args.backend,
+            time_scale=args.time_scale,
         )
     except (ValueError, RuntimeError) as exc:
         # ValueError: bad scenario names/specs; RuntimeError: e.g. a YAML
@@ -189,7 +193,7 @@ def cmd_campaign(args: argparse.Namespace) -> str:
     if summary_path is not None:
         store.write_summary(summary_path)
     lines = [
-        f"campaign: {len(store)} cells "
+        f"campaign[{args.backend}]: {len(store)} cells "
         f"({args.seeds} seeds x {len(names)} scenarios, {args.workers} workers), "
         f"total simulation time {store.total_wall_time_s():.2f}s",
         "",
@@ -225,6 +229,16 @@ def cmd_runtime(args: argparse.Namespace) -> str:
     from repro.scenarios import load_scenarios
 
     names = args.scenario or ["static"]
+    time_scale = DEFAULT_TIME_SCALE if args.time_scale is None else args.time_scale
+    if args.parity_matrix:
+        # Matrix mode defaults to run_parity_matrix's own scale (120
+        # nodes / 40 rounds — what the nightly acceptance runs), not the
+        # single-swarm smoke scale.
+        return _parity_matrix(
+            args, names, args.nodes or 120, args.rounds or 40, time_scale
+        )
+    nodes = args.nodes or 50
+    rounds = args.rounds or 20
     if len(names) > 1:
         raise SystemExit(
             f"runtime runs one scenario per invocation, got {len(names)}: "
@@ -234,24 +248,21 @@ def cmd_runtime(args: argparse.Namespace) -> str:
         (spec,) = load_scenarios(names)
     except (ValueError, RuntimeError) as exc:
         raise SystemExit(f"runtime error: {exc}") from exc
-    nodes = args.nodes or 50
-    rounds = args.rounds or 20
-    time_scale = DEFAULT_TIME_SCALE if args.time_scale is None else args.time_scale
     if args.parity:
         report = run_parity(
             spec, num_nodes=nodes, rounds=rounds, seed=args.seed,
-            time_scale=time_scale,
+            time_scale=time_scale, clock=args.clock,
         )
         continuity = report.runtime_stable_continuity
         out = report.formatted()
     else:
         spec = spec.scaled(num_nodes=nodes, rounds=rounds, seed=args.seed)
-        result = LiveSwarm(spec, time_scale=time_scale).run()
+        result = LiveSwarm(spec, time_scale=time_scale, clock=args.clock).run()
         continuity = result.stable_continuity()
-        ledger = summarize_ledger(result.ledger)
+        ledger = summarize_ledger(result.ledger, transport=result.transport)
         lines = [
             f"runtime {spec.name} n={nodes} rounds={rounds} "
-            f"time_scale={time_scale} ({spec.system}):",
+            f"time_scale={time_scale} clock={args.clock} ({spec.system}):",
             f"  stable continuity {continuity:.4f}  "
             f"(final {result.continuity_series()[-1]:.4f})",
             f"  control overhead {ledger['control_overhead']:.4f}, "
@@ -260,8 +271,11 @@ def cmd_runtime(args: argparse.Namespace) -> str:
             f"({result.messages_per_wall_second():.0f}/s wall), "
             f"{result.segments_delivered()} segments "
             f"({result.segments_per_wall_second():.0f}/s wall)",
+            f"  transport: {result.transport.formatted()}",
             f"  peers +{result.peers_joined}/-{result.peers_left}, "
             f"{result.messages_dropped} frames dropped, "
+            f"schedule dilated {result.clock_dilations}x "
+            f"(+{result.clock_dilation_s:.2f}s), "
             f"wall {result.wall_time_s:.2f}s",
         ]
         out = "\n".join(lines)
@@ -271,6 +285,55 @@ def cmd_runtime(args: argparse.Namespace) -> str:
             f"runtime stable continuity {continuity:.4f} is below the "
             f"required {args.assert_continuity}"
         )
+    return out
+
+
+def _parity_matrix(
+    args: argparse.Namespace,
+    names: List[str],
+    nodes: int,
+    rounds: int,
+    time_scale: float,
+) -> str:
+    """Run the sim-vs-runtime parity matrix over several scenarios."""
+    from repro.runtime.parity import PARITY_TOLERANCE, run_parity_matrix
+
+    scenarios = None if args.scenario is None else names
+    tolerance = (
+        PARITY_TOLERANCE if args.tolerance is None else args.tolerance
+    )
+    matrix = run_parity_matrix(
+        scenarios=scenarios,
+        num_nodes=nodes,
+        rounds=rounds,
+        seed=args.seed,
+        time_scale=time_scale,
+        clock=args.clock,
+    )
+    out = matrix.formatted(tolerance)
+    failures = matrix.failures(tolerance)
+    if failures:
+        print(out)
+        raise SystemExit(
+            f"parity matrix failed: {len(failures)} scenario(s) beyond "
+            f"|Δ| ≤ {tolerance}: "
+            + ", ".join(f"{r.scenario} ({r.continuity_delta:.4f})" for r in failures)
+        )
+    if args.assert_continuity is not None:
+        below = [
+            r for r in matrix.reports
+            if r.runtime_stable_continuity < args.assert_continuity
+        ]
+        if below:
+            print(out)
+            raise SystemExit(
+                "parity matrix runtime continuity below "
+                f"{args.assert_continuity}: "
+                + ", ".join(
+                    f"{r.scenario} ({r.runtime_stable_continuity:.4f})"
+                    for r in below
+                )
+            )
     return out
 
 
@@ -331,14 +394,30 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_group.add_argument(
         "--out", default=None, metavar="DIR",
         help="directory for campaign_results.jsonl + campaign_summary.json")
+    campaign_group.add_argument(
+        "--backend", choices=("sim", "runtime"), default="sim",
+        help="engine for campaign cells: the lock-step simulator (default) "
+        "or live virtual-clock swarms (identical seeding and JSONL schema)")
     runtime_group = parser.add_argument_group("runtime options")
     runtime_group.add_argument(
         "--time-scale", type=float, default=None, metavar="S",
         help="wall seconds per simulated second for the live runtime "
-        "(default: 0.1; raise it if a large swarm's periods overrun)")
+        "(default: 0.1; an overloaded wall-clock swarm stretches its "
+        "schedule coherently instead of collapsing)")
+    runtime_group.add_argument(
+        "--clock", choices=("wall", "virtual"), default="wall",
+        help="runtime clock: real time (default) or deterministic virtual "
+        "time with zero wall waiting")
     runtime_group.add_argument(
         "--parity", action="store_true",
         help="run the sim-vs-runtime parity harness instead of a single swarm")
+    runtime_group.add_argument(
+        "--parity-matrix", action="store_true",
+        help="run the parity harness over every --scenario (default: all "
+        "built-ins) and exit non-zero beyond the tolerance")
+    runtime_group.add_argument(
+        "--tolerance", type=float, default=None, metavar="D",
+        help="|Δ stable continuity| bar for --parity-matrix (default: 0.03)")
     runtime_group.add_argument(
         "--assert-continuity", type=float, default=None, metavar="X",
         help="exit non-zero unless the runtime's stable continuity reaches X "

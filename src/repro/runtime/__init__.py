@@ -21,10 +21,30 @@ This is the layer future deployment work (real sockets across processes
 and hosts, backpressure, sharding) plugs into; see ``docs/runtime.md``.
 """
 
-from repro.runtime.parity import ParityReport, run_parity
-from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm, RuntimeResult, run_swarm
+from repro.runtime.clock import VirtualClockEventLoop, run_on_virtual_clock
+from repro.runtime.parity import (
+    PARITY_TOLERANCE,
+    ParityMatrix,
+    ParityReport,
+    run_parity,
+    run_parity_matrix,
+)
+from repro.runtime.swarm import (
+    CLOCKS,
+    DEFAULT_TIME_SCALE,
+    LiveSwarm,
+    RuntimeResult,
+    run_swarm,
+)
+from repro.runtime.transport import (
+    BoundedInbox,
+    TransportConfig,
+    TransportStats,
+    TransportSummary,
+)
 from repro.runtime.wire import (
     BufferMapMsg,
+    CreditGrant,
     DhtLookup,
     DhtResponse,
     FrameDecoder,
@@ -42,25 +62,36 @@ from repro.runtime.wire import (
 )
 
 __all__ = [
+    "BoundedInbox",
     "BufferMapMsg",
+    "CLOCKS",
+    "CreditGrant",
     "DEFAULT_TIME_SCALE",
     "DhtLookup",
     "DhtResponse",
     "FrameDecoder",
     "Handover",
     "LiveSwarm",
+    "PARITY_TOLERANCE",
+    "ParityMatrix",
     "ParityReport",
     "Ping",
     "Pong",
     "RuntimeResult",
     "SegmentData",
     "SegmentRequest",
+    "TransportConfig",
+    "TransportStats",
+    "TransportSummary",
     "TruncatedFrameError",
+    "VirtualClockEventLoop",
     "WireError",
     "WireKind",
     "decode",
     "encode",
     "ledger_entry",
+    "run_on_virtual_clock",
     "run_parity",
+    "run_parity_matrix",
     "run_swarm",
 ]

@@ -1,0 +1,112 @@
+"""A virtual-clock asyncio event loop for deterministic runtime runs.
+
+The live runtime normally runs on the wall clock: peers sleep real
+(scaled) seconds between scheduling periods and frames spend real wall
+time "in flight".  That realism is what the throughput benchmark needs —
+and exactly what campaigns and regression tests do *not* want, because
+wall-clock scheduling makes every run a different interleaving.
+
+:class:`VirtualClockEventLoop` removes the wall clock from the picture:
+
+* ``loop.time()`` returns a **virtual** timestamp;
+* whenever the loop would block in ``select()`` waiting for the next
+  timer, the virtual clock instead jumps straight to that timer's due
+  time and the select returns immediately.
+
+Every ``asyncio.sleep``, ``call_later`` and timeout therefore fires in
+exact due-time order with zero wall waiting, and — because the runtime
+does no real I/O (loopback transports are ``call_later`` deliveries) —
+the whole swarm executes as one deterministic callback sequence: same
+spec, same seed ⇒ same messages, same drops, same metrics, bit for bit.
+Callbacks consume no virtual time, so a virtual-clock swarm can never
+overload its own schedule; overload physics (and the throughput ceiling)
+only exist on the wall clock.
+
+This is how ``campaign --backend runtime`` fans scenario grids over live
+swarms while keeping the campaign contract that results depend only on
+cell coordinates, never on machine speed (see ``docs/runtime.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from typing import Any
+
+#: Consecutive zero-timeout selector polls with no ready callbacks and no
+#: scheduled timers before the loop declares the program wedged.  A pure
+#: loopback workload always has either ready callbacks or timers pending;
+#: hitting this means every task is awaiting an event nobody will set.
+_STALL_LIMIT = 10_000
+
+
+class _VirtualSelector:
+    """Selector proxy that converts blocking waits into clock jumps.
+
+    The base event loop computes ``timeout = next_timer_due - loop.time()``
+    and hands it to ``selector.select``.  Instead of sleeping, this proxy
+    advances the owning loop's virtual clock by that timeout and polls the
+    real selector non-blockingly (the self-pipe that wakes the loop still
+    works), so timers fire "on time" without wall waiting.
+    """
+
+    def __init__(self, wrapped: selectors.BaseSelector, loop: "VirtualClockEventLoop") -> None:
+        self._wrapped = wrapped
+        self._loop = loop
+        self._stalled_polls = 0
+
+    def select(self, timeout: Any = None) -> Any:
+        if timeout is not None and timeout > 0:
+            self._loop._virtual_now += timeout
+            self._stalled_polls = 0
+        elif timeout is None:
+            # No ready callbacks and no timers: nothing can ever advance
+            # the virtual clock.  Poll a bounded number of times (events
+            # may still arrive through the self-pipe, e.g. loop.stop())
+            # before treating it as a deadlock instead of spinning forever.
+            self._stalled_polls += 1
+            if self._stalled_polls > _STALL_LIMIT:
+                raise RuntimeError(
+                    "virtual clock stalled: no scheduled timers and no ready "
+                    "callbacks — every task is waiting on an event that "
+                    "nothing will set"
+                )
+        else:
+            self._stalled_polls = 0
+        return self._wrapped.select(0)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._wrapped, name)
+
+
+class VirtualClockEventLoop(asyncio.SelectorEventLoop):
+    """An event loop whose clock is virtual time, not the wall."""
+
+    def __init__(self) -> None:
+        super().__init__(selectors.DefaultSelector())
+        self._virtual_now = 0.0
+        self._selector = _VirtualSelector(self._selector, self)
+
+    def time(self) -> float:
+        """Current virtual time in seconds (starts at 0.0)."""
+        return self._virtual_now
+
+
+def run_on_virtual_clock(coro) -> Any:
+    """Run ``coro`` to completion on a fresh virtual-clock event loop.
+
+    The deterministic sibling of :func:`asyncio.run`: timers fire in
+    due-time order with zero wall waiting.  The loop is closed (and the
+    thread's event-loop slot cleared) afterwards, so repeated calls are
+    independent.
+    """
+    loop = VirtualClockEventLoop()
+    try:
+        asyncio.set_event_loop(loop)
+        return loop.run_until_complete(coro)
+    finally:
+        try:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()

@@ -17,11 +17,16 @@ rather than any individual round sample.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.system import SimulationResult
 from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm, RuntimeResult
 from repro.scenarios.spec import ScenarioSpec, load_scenarios
+
+#: The |Δ stable continuity| bar the full-matrix parity acceptance uses:
+#: every built-in scenario — churn spikes, blackouts and lossy swarms
+#: included — must agree between the engines within three points.
+PARITY_TOLERANCE = 0.03
 
 
 @dataclass(frozen=True)
@@ -61,6 +66,7 @@ def run_parity(
     rounds: int = 40,
     seed: int = 0,
     time_scale: float = DEFAULT_TIME_SCALE,
+    clock: str = "wall",
 ) -> ParityReport:
     """Run one scenario through the simulator and the live runtime.
 
@@ -70,11 +76,14 @@ def run_parity(
         rounds: scheduling periods for both runs.
         seed: root seed (identical construction on both sides).
         time_scale: wall seconds per simulated second for the swarm side.
+        clock: the swarm's clock — ``"wall"`` for real time, ``"virtual"``
+            for the deterministic virtual clock (fast, machine-independent;
+            what the matrix acceptance runs on).
     """
     (spec,) = load_scenarios([scenario]) if not isinstance(scenario, ScenarioSpec) else (scenario,)
     spec = spec.scaled(num_nodes=num_nodes, rounds=rounds, seed=seed)
     sim_result = spec.run()
-    runtime_result = LiveSwarm(spec, time_scale=time_scale).run()
+    runtime_result = LiveSwarm(spec, time_scale=time_scale, clock=clock).run()
     return ParityReport(
         scenario=spec.name,
         num_nodes=num_nodes,
@@ -86,3 +95,71 @@ def run_parity(
         sim_result=sim_result,
         runtime_result=runtime_result,
     )
+
+
+@dataclass(frozen=True)
+class ParityMatrix:
+    """Parity reports across a set of scenarios (one grid acceptance)."""
+
+    reports: Tuple[ParityReport, ...]
+
+    @property
+    def max_delta(self) -> float:
+        """The worst |Δ stable continuity| across the matrix."""
+        return max((r.continuity_delta for r in self.reports), default=0.0)
+
+    def failures(self, tolerance: float = PARITY_TOLERANCE) -> List[ParityReport]:
+        """The reports whose continuity delta exceeds ``tolerance``."""
+        return [r for r in self.reports if r.continuity_delta > tolerance]
+
+    def formatted(self, tolerance: float = PARITY_TOLERANCE) -> str:
+        """One table row per scenario plus a verdict line."""
+        lines = [
+            f"{'scenario':<14} {'sim':>8} {'runtime':>8} {'|Δ|':>8}  verdict"
+        ]
+        for r in self.reports:
+            verdict = "ok" if r.continuity_delta <= tolerance else "FAIL"
+            lines.append(
+                f"{r.scenario:<14} {r.sim_stable_continuity:>8.4f} "
+                f"{r.runtime_stable_continuity:>8.4f} "
+                f"{r.continuity_delta:>8.4f}  {verdict}"
+            )
+        lines.append(
+            f"max |Δ stable continuity| = {self.max_delta:.4f} "
+            f"(tolerance {tolerance})"
+        )
+        return "\n".join(lines)
+
+
+def run_parity_matrix(
+    scenarios: Optional[Sequence[Union[str, ScenarioSpec]]] = None,
+    num_nodes: int = 120,
+    rounds: int = 40,
+    seed: int = 0,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    clock: str = "virtual",
+) -> ParityMatrix:
+    """Run the sim-vs-runtime parity harness across several scenarios.
+
+    ``scenarios=None`` covers every built-in scenario — the full matrix
+    the nightly CI job runs at |Δ| ≤ :data:`PARITY_TOLERANCE`.  Defaults
+    to the **virtual clock**, which makes the matrix deterministic and
+    wall-wait-free (runtime cost is CPU only), so the acceptance bar does
+    not depend on how loaded the machine is.
+    """
+    if scenarios is None:
+        from repro.scenarios.library import builtin_names
+
+        scenarios = list(builtin_names())
+    reports = tuple(
+        run_parity(
+            scenario,
+            num_nodes=num_nodes,
+            rounds=rounds,
+            seed=seed,
+            time_scale=time_scale,
+            clock=clock,
+        )
+        for scenario in scenarios
+    )
+    return ParityMatrix(reports=reports)

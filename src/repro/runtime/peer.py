@@ -4,8 +4,16 @@ A :class:`LivePeer` adapts the passive :class:`~repro.core.node.StreamingNode`
 state machine (and its ContinuStreaming specialisation) to an event-driven
 life: instead of a global round barrier, each peer owns
 
-* an **inbox** of raw wire bytes, drained by a reader task that decodes
-  frames (:class:`~repro.runtime.wire.FrameDecoder`) and dispatches them;
+* a **bounded inbox** (:class:`~repro.runtime.transport.BoundedInbox`) of
+  raw wire frames — control frames on a priority lane ahead of segment
+  data — drained by a reader task that decodes frames
+  (:class:`~repro.runtime.wire.FrameDecoder`) and dispatches them;
+* a **credit-gated send window per link**
+  (:class:`~repro.runtime.transport.SendWindowSet`): at most
+  ``data_window`` unconsumed segments in flight towards any one receiver;
+  further segments wait in a bounded pending queue until the receiver
+  returns credits with :class:`~repro.runtime.wire.CreditGrant` control
+  frames (batched as it consumes data, flushed at period boundaries);
 * a **period loop** that fires every scheduling period ``τ`` on the peer's
   *own* clock (scaled by the swarm's time factor) and performs the same
   work the round pipeline's phases do for it in the simulator — playback,
@@ -39,11 +47,26 @@ from repro.core.continu import ContinuStreamingNode
 from repro.core.node import StreamingNode
 from repro.net.message import MessageLedger
 from repro.runtime import wire
+from repro.runtime.transport import (
+    BoundedInbox,
+    CreditLedger,
+    SendWindowSet,
+    TransportStats,
+)
 from repro.streaming.buffermap import BufferMap
 from repro.streaming.segment import Segment
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.runtime.swarm import LiveSwarm
+
+#: Kind bytes (right after the 4-byte length prefix) of the control
+#: frames that carry one-shot state and therefore must survive an inbox
+#: shed: credit grants (window state the granting side already reset)
+#: and graceful-leave handovers (the sender dies right after sending).
+_UNSHEDDABLE_KIND_BYTES = (
+    bytes([wire.WireKind.CREDIT]),
+    bytes([wire.WireKind.HANDOVER]),
+)
 
 
 @dataclass
@@ -86,13 +109,29 @@ class LivePeer:
         self.config = swarm.config
         self.first_tick = int(first_tick)
         self.ledger = MessageLedger()
-        self.inbox: "asyncio.Queue[bytes]" = asyncio.Queue()
+        transport = swarm.transport
+        self.transport_stats = TransportStats()
+        self.inbox = BoundedInbox(transport.inbox_watermark, self.transport_stats)
+        self.send_windows = SendWindowSet(transport, self.transport_stats)
+        self._credit_ledger = CreditLedger(transport.credit_batch)
         self.decoder = wire.FrameDecoder()
         self.neighbor_maps: Dict[int, BufferMap] = {}
+        #: Partners whose buffer map arrived since this period's boundary —
+        #: the readiness signal the adaptive mid-period phasing waits on.
+        self._maps_this_period: set = set()
         self.known_newest: int = -1
         period = self.config.scheduling_period
         self.outbound_tokens: float = node.outbound_rate * period
         self.playback_log: Dict[int, PlaybackSample] = {}
+        #: The period currently open (set at each boundary); deferred
+        #: mid-period/rescue callbacks from an earlier period abandon
+        #: themselves when a newer boundary has passed.
+        self._current_tick = -1
+        #: Wall length of the currently open period — normally the scaled
+        #: scheduling period, but shorter when the boundary ran late (a
+        #: joiner admitted mid-period, an overloaded loop): the intra-
+        #: period chain compresses into what actually remains.
+        self._period_span = self.config.scheduling_period * swarm.time_scale
         self._delivered: Dict[int, int] = {}
         self._requested: set = set()
         self._nack_tried: Dict[int, set] = {}
@@ -156,27 +195,104 @@ class LivePeer:
 
     # ------------------------------------------------------------------- sending
     def _send(self, dst: int, msg: wire.WireMessage) -> None:
-        """Encode, charge the ledger, and hand the frame to the transport."""
+        """Encode and ship one message, respecting the link's flow control.
+
+        Control frames ship immediately (and are charged to the ledger);
+        segment data must hold a link credit first — without one it waits
+        in the bounded pending queue and is only charged when it actually
+        leaves (:meth:`_on_credit` releases it), so shed segments never
+        distort the overhead metrics.
+        """
         entry = wire.ledger_entry(msg)
+        frame = wire.encode(msg)
+        if isinstance(msg, wire.SegmentData):
+            if not self.send_windows.acquire(dst, (frame, entry)):
+                return
+            self._ship(dst, frame, entry, data=True)
+            return
+        self._ship(dst, frame, entry, data=False)
+
+    def _ship(self, dst, frame, entry, data: bool) -> None:
+        if data:
+            # The uplink budget is spent when a segment actually leaves —
+            # a frame parked in the pending queue (and possibly shed
+            # there) must not burn this period's tokens, or the supplier
+            # under-counts its own capacity and NACKs requests it could
+            # in fact serve (the simulator charges the serving round's
+            # budget the same way).
+            self.outbound_tokens -= 1.0
         if entry is not None:
             self.ledger.record(entry[0], entry[1])
-        self.swarm.deliver(self.peer_id, dst, wire.encode(msg))
+        self.swarm.deliver(self.peer_id, dst, frame, data=data)
 
     def _broadcast(self, dsts, msg: wire.WireMessage) -> None:
-        """Send one message to many peers, encoding the frame only once."""
+        """Send one control message to many peers, encoding it only once."""
         entry = wire.ledger_entry(msg)
         frame = wire.encode(msg)
         for dst in dsts:
-            if entry is not None:
-                self.ledger.record(entry[0], entry[1])
-            self.swarm.deliver(self.peer_id, dst, frame)
+            self._ship(dst, frame, entry, data=False)
 
     # ------------------------------------------------------------------ receiving
     async def _read_loop(self) -> None:
         while True:
-            chunk = await self.inbox.get()
-            for msg in self.decoder.feed(chunk):
-                self._dispatch(msg)
+            for src, chunk, was_control in await self.inbox.get_batch():
+                for msg in self.decoder.feed(chunk):
+                    self._dispatch(msg)
+                if not was_control:
+                    # One data frame consumed: owe its sender a credit and
+                    # return a batch once enough have accumulated.
+                    self._consume_data_credit(src)
+
+    def _consume_data_credit(self, src: int) -> None:
+        if self._credit_ledger.consume(src):
+            self._grant_credits(src)
+
+    def note_shed_data(self, src: int) -> None:
+        """The transport shed a data frame bound for this peer.
+
+        The credit the sender spent on it must still flow back, or the
+        link would wedge with the window permanently short; a shed frame
+        counts exactly like a consumed one for flow control.
+        """
+        self._consume_data_credit(src)
+
+    def absorb_shed_control(self, frame: bytes) -> None:
+        """A control frame bound for this peer was shed at the inbox.
+
+        Most control traffic is safe to lose (gossip and probes repeat
+        every period), but two frames carry one-shot state that exists
+        nowhere else: a :class:`~repro.runtime.wire.CreditGrant` (the
+        granting side already reset its owed balance, so losing it would
+        shrink this peer's send window to that receiver forever) and a
+        :class:`~repro.runtime.wire.Handover` (the gracefully leaving
+        sender stops right after shipping its backup store).  Those are
+        applied as if delivered (the loopback stand-in for a real
+        transport's reliable control channel); everything else just
+        stays dropped.
+        """
+        if frame[4:5] in _UNSHEDDABLE_KIND_BYTES:
+            msg, _ = wire.decode(frame)
+            if isinstance(msg, wire.CreditGrant):
+                self._on_credit(msg)
+            else:
+                self._on_handover(msg)
+
+    def _grant_credits(self, src: int) -> None:
+        self._emit_grant(src, self._credit_ledger.take(src))
+
+    def _emit_grant(self, src: int, owed: int) -> None:
+        if owed > 0:
+            self.transport_stats.credits_granted += 1
+            self._send(src, wire.CreditGrant(sender=self.peer_id, credits=owed))
+
+    def _flush_credits(self) -> None:
+        """Period-boundary flush of sub-batch credit balances.
+
+        Without it, a sender whose last few segments were consumed just
+        under the batch threshold would wait for credits that never come.
+        """
+        for src, owed in self._credit_ledger.drain().items():
+            self._emit_grant(src, owed)
 
     def _dispatch(self, msg: wire.WireMessage) -> None:
         if not self.node.alive:
@@ -195,13 +311,34 @@ class LivePeer:
             self._on_dht_response(msg)
         elif isinstance(msg, wire.Ping):
             self._send(msg.sender, wire.Pong(sender=self.peer_id, nonce=msg.nonce))
+            if msg.sender in self.node.neighbors:
+                # A PING from a partner is a joiner announcing itself
+                # (see announce_join): reply with our current buffer map
+                # so the newcomer can schedule within its first period
+                # instead of waiting a full period for boundary gossip —
+                # the live analogue of the simulator's joiners seeing all
+                # partner snapshots in their first round.
+                self._send(
+                    msg.sender,
+                    wire.BufferMapMsg.from_buffer_map(
+                        self.peer_id, self.known_newest, self.node.buffer_map()
+                    ),
+                )
         elif isinstance(msg, wire.Pong):
             pass  # liveness confirmation only
         elif isinstance(msg, wire.Handover):
             self._on_handover(msg)
+        elif isinstance(msg, wire.CreditGrant):
+            self._on_credit(msg)
+
+    def _on_credit(self, msg: wire.CreditGrant) -> None:
+        """Returned link credits: ship the pending segments they unblock."""
+        for frame, entry in self.send_windows.grant(msg.sender, msg.credits):
+            self._ship(msg.sender, frame, entry, data=True)
 
     def _on_buffer_map(self, msg: wire.BufferMapMsg) -> None:
         self.neighbor_maps[msg.sender] = msg.buffer_map()
+        self._maps_this_period.add(msg.sender)
         if msg.newest_id > self.known_newest:
             self.known_newest = msg.newest_id
 
@@ -224,7 +361,6 @@ class LivePeer:
                 ),
             )
             return
-        self.outbound_tokens -= 1.0
         self._send(
             msg.sender,
             wire.SegmentData(
@@ -440,25 +576,61 @@ class LivePeer:
     #: deadline misses.
     RESCUE_PHASE = 0.8
 
+    #: Fraction of this peer's partners whose fresh buffer map must have
+    #: arrived before the mid-period scheduling pass runs.  On a healthy
+    #: swarm the maps cross well before the 40% mark and the pass runs at
+    #: its nominal phase; on an overloaded event loop — where all peers'
+    #: boundary timers fire spread across real time and gossip drains
+    #: slowly — the pass defers (re-checking each :data:`RECHECK_PHASE`)
+    #: until the snapshots actually arrived, instead of scheduling
+    #: against last period's stale maps.  This arrival-conditioned
+    #: phasing is half of the 200-peer bench-anomaly fix (the other half
+    #: is the swarm's coherent clock dilation).
+    MAP_QUORUM = 0.8
+
+    #: Re-check interval (fraction of a period) while waiting for the map
+    #: quorum, and the deferral ceiling in re-checks.  The ceiling keeps
+    #: the whole chain inside its own period (0.4 + 5 × 0.1 = 90% of a
+    #: period): when the quorum still isn't met there, scheduling runs
+    #: with whatever maps arrived — late scheduling beats none, and a
+    #: chain that outlives its period is abandoned (a stale chain
+    #: double-running against the next period's would double-spend
+    #: requests and supplier credits).
+    RECHECK_PHASE = 0.1
+    MAX_RECHECKS = 5
+
     async def _period_loop(self) -> None:
         scaled = self.config.scheduling_period * self.swarm.time_scale
         loop = asyncio.get_running_loop()
         tick = self.first_tick
-        deadline = self.swarm.wall_deadline_of(tick)
         while not self.stopped:
+            # Deadlines come from the swarm's shared clock every
+            # iteration, so when the swarm dilates time under overload
+            # every peer shifts by the same amount and the overlay stays
+            # phase-aligned — drifting apart (each peer re-anchoring its
+            # own clock) is what used to collapse continuity at
+            # aggressive time scales.
+            deadline = self.swarm.wall_deadline_of(tick)
             delay = deadline - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
+                if self.swarm.wall_deadline_of(tick) - loop.time() > 1e-9:
+                    # The swarm dilated its schedule while we slept;
+                    # re-align to the shifted boundary before ticking.
+                    continue
+            else:
+                self.swarm.note_lateness(-delay)
             if tick > self.first_tick:
                 self._period_end(tick - 1)
             self._period_start(tick)
             tick += 1
             self.ticks_run += 1
-            # Absolute deadlines, re-anchored when a tick overruns.  The
-            # floor guarantees at least 60% of a period of wall time (so
-            # the mid-period scheduling at 40% still fits) instead of
-            # cascading into a burst of degenerate catch-up ticks.
-            deadline = max(deadline + scaled, loop.time() + 0.6 * scaled)
+            # Guarantee a sliver of wall time before the next boundary so
+            # an overrunning peer still interleaves with frame delivery
+            # instead of ticking back-to-back.
+            next_deadline = self.swarm.wall_deadline_of(tick)
+            if next_deadline - loop.time() <= 0:
+                await asyncio.sleep(0.05 * scaled)
 
     def _period_end(self, tick: int) -> None:
         """Boundary work closing period ``tick``: playback and feedback."""
@@ -490,6 +662,8 @@ class LivePeer:
         """
         node = self.node
         cfg = self.config
+        self._current_tick = tick
+        self._flush_credits()
         if self.is_source:
             for segment in self.swarm.source.generate_until(
                 (tick + 1) * cfg.scheduling_period
@@ -504,12 +678,58 @@ class LivePeer:
         node.begin_round()
         self._nack_tried = {}
         self._requested = set()
+        self._maps_this_period = set()
         self.outbound_tokens = node.outbound_rate * cfg.scheduling_period
         self._gossip_buffer_map()
         loop = asyncio.get_running_loop()
         scaled = cfg.scheduling_period * self.swarm.time_scale
-        loop.call_later(self.SCHEDULE_PHASE * scaled, self._mid_period)
-        loop.call_later(self.RESCUE_PHASE * scaled, self._rescue_pass)
+        remaining = self.swarm.wall_deadline_of(tick + 1) - loop.time()
+        self._period_span = max(min(scaled, remaining), 0.05 * scaled)
+        loop.call_later(
+            self.SCHEDULE_PHASE * self._period_span,
+            self._mid_period_when_ready,
+            tick,
+            0,
+        )
+
+    def _map_quorum_met(self) -> bool:
+        """Have enough partners' fresh buffer maps arrived to schedule on?"""
+        partners = [n for n in self.node.neighbors if self.swarm.is_alive(n)]
+        if not partners:
+            return True
+        fresh = sum(1 for n in partners if n in self._maps_this_period)
+        return fresh >= self.MAP_QUORUM * len(partners)
+
+    def _mid_period_when_ready(self, tick: int, rechecks: int) -> None:
+        """Run the mid-period pass once this period's gossip has arrived.
+
+        Defers (bounded) while the fresh-map quorum is missing, so an
+        overloaded event loop schedules against this period's snapshots
+        late rather than against last period's snapshots on time.  The
+        rescue pass is chained relative to when scheduling actually ran,
+        preserving the schedule → transfer → rescue ordering.  A chain
+        whose period has already closed (``tick`` is stale) abandons
+        itself — the newer boundary scheduled its own chain, and running
+        both would double-spend requests and supplier credits.
+        """
+        if self.stopped or not self.node.alive or tick != self._current_tick:
+            return
+        span = self._period_span
+        loop = asyncio.get_running_loop()
+        if rechecks < self.MAX_RECHECKS and not self._map_quorum_met():
+            loop.call_later(
+                self.RECHECK_PHASE * span,
+                self._mid_period_when_ready,
+                tick,
+                rechecks + 1,
+            )
+            return
+        self._mid_period()
+        loop.call_later(
+            (self.RESCUE_PHASE - self.SCHEDULE_PHASE) * span,
+            self._rescue_pass,
+            tick,
+        )
 
     def _mid_period(self) -> None:
         """Mid-period work: Algorithm 1 scheduling + urgent-line lookups."""
@@ -525,11 +745,13 @@ class LivePeer:
                     for sid in prediction.missed_segment_ids:
                         self._start_lookup(sid)
 
-    def _rescue_pass(self) -> None:
+    def _rescue_pass(self, tick: int) -> None:
         """Late-period rescue of imminently needed, partner-held segments."""
         node = self.node
         if self.stopped or not node.alive or not node.playback.started:
             return
+        if tick != self._current_tick:
+            return  # the period this rescue belonged to has closed
         if self.known_newest < 0:
             return
         spr = node.playback.segments_per_round(self.config.scheduling_period)

@@ -10,11 +10,13 @@
   fingers are identical to the simulated overlay before the first frame
   flies; the swarm then wraps every node in a live peer instead of
   clocking rounds;
-* **loopback transport** — frames travel through per-peer inboxes with the
-  pairwise one-way latency of :class:`~repro.net.latency.LatencyModel`
-  injected per link (scaled by ``time_scale``, which compresses simulated
-  seconds into wall seconds); a scenario ``loss_rate`` drops frames at the
-  transport, the live analogue of the simulator's throughput loss model;
+* **bounded loopback transport** — frames travel through per-peer
+  *bounded* two-lane inboxes (control priority ahead of segment data, see
+  :mod:`repro.runtime.transport`) with the pairwise one-way latency of
+  :class:`~repro.net.latency.LatencyModel` injected per link (scaled by
+  ``time_scale``); segment data is credit-gated per link, a scenario
+  ``loss_rate`` drops frames at the transport, and every queue has a
+  configurable watermark — no load can grow memory without bound;
 * **live churn** — the scenario's churn schedule runs against the real
   swarm: departing peers are cancelled mid-flight (gracefully leaving ones
   ship their VoD backup over the wire first), joining peers are admitted
@@ -26,10 +28,13 @@
   ledger after shutdown, so continuity and overhead come out in exactly
   the simulator's units.
 
-The runtime trades the simulator's determinism for real concurrency: two
-runs interleave differently, so results carry wall-clock noise — the
-parity harness (:mod:`repro.runtime.parity`) quantifies how close the two
-stay on the paper's metrics.
+On the wall clock the runtime trades the simulator's determinism for real
+concurrency: two runs interleave differently, so results carry wall-clock
+noise — the parity harness (:mod:`repro.runtime.parity`) quantifies how
+close the two stay on the paper's metrics.  On the **virtual clock**
+(``clock="virtual"``, the campaign backend) the same swarm executes as a
+deterministic timer sequence with zero wall waiting: identical spec and
+seed reproduce identical results, bit for bit.
 """
 
 from __future__ import annotations
@@ -43,7 +48,9 @@ import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.net.message import MessageKind, MessageLedger
+from repro.runtime.clock import run_on_virtual_clock
 from repro.runtime.peer import LivePeer
+from repro.runtime.transport import TransportConfig, TransportSummary
 from repro.scenarios.spec import ScenarioSpec
 from repro.streaming.playback import ContinuityTracker
 from repro.streaming.segment import Segment
@@ -52,6 +59,12 @@ from repro.streaming.segment import Segment
 #: 1-second scheduling period to 100 ms — enough headroom for a few
 #: hundred peers' worth of frames per period on one event loop.
 DEFAULT_TIME_SCALE = 0.1
+
+#: The swarm's clock sources: ``"wall"`` runs on real time (overload and
+#: throughput are physical), ``"virtual"`` on the deterministic
+#: :class:`~repro.runtime.clock.VirtualClockEventLoop` (campaigns, parity
+#: matrices and regression tests — same seed, same result, no waiting).
+CLOCKS = ("wall", "virtual")
 
 
 @dataclass
@@ -75,6 +88,15 @@ class RuntimeResult:
     peers_joined: int = 0
     peers_left: int = 0
     wall_time_s: float = 0.0
+    #: Flow-control facts: queue high-watermarks, send stalls, shed frames.
+    transport: TransportSummary = field(default_factory=TransportSummary)
+    #: Which clock drove the run (``"wall"`` or ``"virtual"``).
+    clock: str = "wall"
+    #: Wall seconds the swarm stretched its schedule by under overload
+    #: (0.0 on the virtual clock — virtual time cannot be overloaded).
+    clock_dilation_s: float = 0.0
+    #: Number of period boundaries at which the schedule was dilated.
+    clock_dilations: int = 0
 
     # ------------------------------------------------------------------ metrics
     def continuity_series(self) -> List[float]:
@@ -120,8 +142,14 @@ class LiveSwarm:
         rounds: scheduling periods to run; ``None`` uses the spec's.
         time_scale: wall seconds per simulated second.  Smaller runs
             faster but leaves less wall time per period for the event loop
-            to move every frame; raise it if a large swarm's periods
-            overrun (continuity degrades when they do).
+            to move every frame; an overloaded wall-clock swarm now
+            *dilates* its schedule coherently instead of letting peers
+            drift apart (see :meth:`note_lateness`).
+        transport: flow-control knobs (inbox watermark, credit window);
+            ``None`` uses the :class:`~repro.runtime.transport.
+            TransportConfig` defaults.
+        clock: ``"wall"`` (real time) or ``"virtual"`` (deterministic
+            virtual time, no wall waiting — the campaign/parity backend).
     """
 
     def __init__(
@@ -129,14 +157,20 @@ class LiveSwarm:
         spec: ScenarioSpec,
         rounds: Optional[int] = None,
         time_scale: float = DEFAULT_TIME_SCALE,
+        transport: Optional[TransportConfig] = None,
+        clock: str = "wall",
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if clock not in CLOCKS:
+            raise ValueError(f"clock must be one of {CLOCKS}, got {clock!r}")
         self.spec = spec
         self.rounds = int(spec.rounds if rounds is None else rounds)
         if self.rounds < 1:
             raise ValueError("rounds must be >= 1")
         self.time_scale = float(time_scale)
+        self.transport = transport if transport is not None else TransportConfig()
+        self.clock = clock
         self.system = spec.build_system()
         self.config: SystemConfig = self.system.config
         self.manager = self.system.manager
@@ -154,6 +188,18 @@ class LiveSwarm:
         self._loss_rng: Optional[np.random.Generator] = None
         self._start_wall = 0.0
         self._built = False
+        #: Coherent overload dilation: wall seconds added to every future
+        #: period deadline (swarm-wide, so peers stay phase-aligned).
+        self._wall_offset = 0.0
+        #: Worst period-boundary lateness peers reported since the last
+        #: churn-controller boundary (the dilation signal).
+        self._worst_lateness = 0.0
+        #: Monotonicity floor for :meth:`sim_now` across dilation steps.
+        self._sim_floor = 0.0
+        #: Adaptive wall-seconds-per-period multiple (AIMD-controlled).
+        self._stretch = 1.0
+        self.clock_dilation_s = 0.0
+        self.clock_dilations = 0
 
     # ======================================================================= build
     def build(self) -> "LiveSwarm":
@@ -200,24 +246,94 @@ class LiveSwarm:
 
     # ----------------------------------------------------------------- clocking
     def sim_now(self) -> float:
-        """Current simulated time in seconds (wall time un-scaled)."""
-        return max(0.0, (asyncio.get_running_loop().time() - self._start_wall) / self.time_scale)
+        """Current simulated time in seconds (dilation-adjusted wall time,
+        un-scaled; monotone even across dilation steps)."""
+        now = (
+            asyncio.get_running_loop().time() - self._start_wall - self._wall_offset
+        ) / self.time_scale
+        if now > self._sim_floor:
+            self._sim_floor = now
+        return max(0.0, self._sim_floor)
 
     def wall_deadline_of(self, tick: int) -> float:
-        """Wall-clock loop time of period boundary ``tick``."""
-        return self._start_wall + tick * self.config.scheduling_period * self.time_scale
+        """Wall-clock loop time of period boundary ``tick`` (incl. dilation)."""
+        return (
+            self._start_wall
+            + self._wall_offset
+            + tick * self.config.scheduling_period * self.time_scale
+        )
+
+    def note_lateness(self, seconds: float) -> None:
+        """A peer hit a period boundary ``seconds`` late.
+
+        The worst lateness in each controller period becomes a *coherent*
+        schedule dilation: every future deadline (all peers, the churn
+        driver, the source) shifts by the same amount, so an overloaded
+        event loop stretches wall time uniformly instead of letting peers'
+        period clocks drift apart — the drift is what used to collapse
+        continuity at aggressive ``time_scale`` settings (the 200-peer
+        ``BENCH_runtime.json`` anomaly).
+        """
+        if seconds > self._worst_lateness:
+            self._worst_lateness = seconds
+
+    #: Bounds of the adaptive schedule stretch (wall seconds per nominal
+    #: period, as a multiple).  The ceiling caps how slow an overloaded
+    #: swarm is allowed to run; past it the run is simply degraded (and
+    #: says so in the stall metrics) rather than stretching forever.
+    MAX_STRETCH = 16.0
+
+    def _maybe_dilate(self, own_lateness: float) -> None:
+        """Adapt the per-period schedule stretch to the observed lateness.
+
+        AIMD on a *persistent* stretch factor: lateness pushes the factor
+        up by the missed fraction of a period, slack decays it
+        multiplicatively back towards 1.  A one-off offset per late round
+        would limit-cycle (stretch, on-time round, no stretch, late
+        round, ...); a converged persistent stretch keeps the event loop
+        below saturation so message legs stay fast relative to the
+        effective period and the within-period request → NACK → reroute
+        dynamics complete, like they do on an unloaded clock.
+        """
+        scaled = self.config.scheduling_period * self.time_scale
+        worst = max(self._worst_lateness, own_lateness)
+        self._worst_lateness = 0.0
+        if worst > 0.1 * scaled:
+            # Half-gain additive increase: converges on the minimal
+            # sustainable stretch instead of overshooting to a crawl
+            # (empirically ~2× better throughput at equal continuity
+            # than full-gain, see docs/runtime.md).
+            self._stretch = min(self.MAX_STRETCH, self._stretch + 0.5 * worst / scaled)
+        else:
+            self._stretch = max(1.0, 0.85 * self._stretch)
+        extra = (self._stretch - 1.0) * scaled
+        if extra > 0.0:
+            self._wall_offset += extra
+            self.clock_dilation_s += extra
+            self.clock_dilations += 1
 
     # ---------------------------------------------------------------- transport
-    def deliver(self, src: int, dst: int, frame: bytes) -> None:
+    def deliver(self, src: int, dst: int, frame: bytes, data: bool = False) -> None:
         """Ship one encoded frame from ``src`` to ``dst`` with link latency.
 
         Frames to departed or unknown peers vanish (the network does not
-        know who died); a configured ``loss_rate`` drops frames at random,
-        the live analogue of the scenario engine's lossy-network model.
+        know who died); a configured ``loss_rate`` drops *data* frames at
+        random — the live analogue of the scenario engine's lossy-network
+        model, which throttles data throughput and never loses control
+        traffic (:class:`~repro.scenarios.phases.LossyNetworkPhase`), so
+        the two engines stay parity-comparable on lossy scenarios.
+        ``data`` selects the receiver's inbox lane: segment data queues
+        behind the bounded data lane, everything else rides the control
+        priority lane (see :mod:`repro.runtime.transport`).
         """
         self.messages_sent += 1
-        if self._loss_rng is not None and self._loss_rng.random() < self.spec.loss_rate:
+        if (
+            data
+            and self._loss_rng is not None
+            and self._loss_rng.random() < self.spec.loss_rate
+        ):
             self.messages_dropped += 1
+            self._refund_shed(src, dst)
             return
         peer = self.peers.get(dst)
         if peer is None or peer.stopped or not peer.node.alive:
@@ -225,18 +341,46 @@ class LiveSwarm:
             return
         delay = self.manager.latency_ms(src, dst) / 1000.0 * self.time_scale
         loop = asyncio.get_running_loop()
-        loop.call_later(delay, self._deliver_now, dst, frame)
+        loop.call_later(delay, self._deliver_now, src, dst, frame, data)
 
-    def _deliver_now(self, dst: int, frame: bytes) -> None:
+    def _deliver_now(self, src: int, dst: int, frame: bytes, data: bool) -> None:
         peer = self.peers.get(dst)
         if peer is None or peer.stopped or not peer.node.alive:
             self.messages_dropped += 1
             return
-        peer.inbox.put_nowait(frame)
+        if not peer.inbox.put(src, frame, control=not data):
+            # The bounded lane shed the frame.  Flow-control state must
+            # survive the shed either way: a data frame's spent credit
+            # comes home (the receiver counts it as consumed), and a shed
+            # credit grant is applied as if delivered — otherwise the
+            # link's window would wedge permanently short.
+            self.messages_dropped += 1
+            if data:
+                peer.note_shed_data(src)
+            else:
+                peer.absorb_shed_control(frame)
+
+    def _refund_shed(self, src: int, dst: int) -> None:
+        """Return the credit of a data frame the *network* dropped.
+
+        Loss happens before the receiver exists for this frame, so the
+        receiving peer (if still alive) refunds on the network's behalf —
+        the loopback stand-in for a transport-level retransmit/ack.
+        """
+        peer = self.peers.get(dst)
+        if peer is not None and not peer.stopped and peer.node.alive:
+            peer.note_shed_data(src)
 
     # ======================================================================== run
     def run(self) -> RuntimeResult:
-        """Build, run to completion and return the collected result."""
+        """Build, run to completion and return the collected result.
+
+        On the ``"virtual"`` clock the run executes on a deterministic
+        virtual-time event loop — no wall waiting, bit-identical results
+        for identical specs and seeds.
+        """
+        if self.clock == "virtual":
+            return run_on_virtual_clock(self.run_async())
         return asyncio.run(self.run_async())
 
     async def run_async(self) -> RuntimeResult:
@@ -269,6 +413,12 @@ class LiveSwarm:
             delay = deadline - asyncio.get_running_loop().time()
             if delay > 0:
                 await asyncio.sleep(delay)
+            # A busy loop wakes the controller late; fold the worst
+            # observed lateness (peers' and our own) into a coherent
+            # schedule dilation before driving this boundary's churn.
+            self._maybe_dilate(
+                max(0.0, asyncio.get_running_loop().time() - deadline)
+            )
             if churn.is_static or round_index == self.rounds - 1:
                 continue
             event = churn.step(
@@ -285,12 +435,14 @@ class LiveSwarm:
     async def _await_completion(self, scaled: float) -> None:
         """Wait for every live peer to finish its ``rounds`` periods.
 
-        Peers that overran re-anchor their period clocks, so they may trail
-        the controller's wall schedule; shutting down on wall time alone
-        would truncate their samples.  Bounded by twice the nominal run
-        length so a wedged peer cannot hang the swarm.
+        Peers read deadlines from the swarm's shared (possibly dilated)
+        clock, but a peer that woke just before a dilation step can trail
+        the controller by up to a period; shutting down on the
+        controller's schedule alone would truncate its samples.  Bounded
+        by twice the *dilated* run length so a wedged peer cannot hang
+        the swarm.
         """
-        budget = 2.0 * self.rounds * scaled
+        budget = 2.0 * (self.rounds * scaled + self.clock_dilation_s)
         waited = 0.0
         step = max(0.25 * scaled, 0.001)
         while waited < budget:
@@ -316,6 +468,11 @@ class LiveSwarm:
         await peer.stop()
         self.retired_peers.append(self.peers.pop(node_id))
         self.peers_left += 1
+        # Dead links keep no flow-control state: credits in flight to the
+        # departed peer are unrecoverable, and a joiner admitted later
+        # under a recycled ring id must start with a full window.
+        for survivor in self.peers.values():
+            survivor.send_windows.reset(node_id)
 
     def _admit_peer(self, rng: np.random.Generator, first_tick: int) -> None:
         ring_id = self.manager.admit_node(rng, now=self.sim_now())
@@ -356,6 +513,9 @@ class LiveSwarm:
             )
         per_peer = {peer.peer_id: peer.ledger.snapshot() for peer in everyone}
         ledger = MessageLedger.merged(list(per_peer.values()))
+        transport = TransportSummary.aggregate(
+            peer.transport_stats for peer in everyone
+        )
         return RuntimeResult(
             system=self.spec.system,
             config=self.config,
@@ -369,6 +529,10 @@ class LiveSwarm:
             peers_joined=self.peers_joined,
             peers_left=self.peers_left,
             wall_time_s=wall_time,
+            transport=transport,
+            clock=self.clock,
+            clock_dilation_s=self.clock_dilation_s,
+            clock_dilations=self.clock_dilations,
         )
 
 
@@ -376,6 +540,10 @@ def run_swarm(
     spec: ScenarioSpec,
     rounds: Optional[int] = None,
     time_scale: float = DEFAULT_TIME_SCALE,
+    transport: Optional[TransportConfig] = None,
+    clock: str = "wall",
 ) -> RuntimeResult:
     """Convenience wrapper: build and run one live swarm to completion."""
-    return LiveSwarm(spec, rounds=rounds, time_scale=time_scale).run()
+    return LiveSwarm(
+        spec, rounds=rounds, time_scale=time_scale, transport=transport, clock=clock
+    ).run()

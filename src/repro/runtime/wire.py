@@ -73,6 +73,7 @@ class WireKind(IntEnum):
     PONG = 7
     HANDOVER = 8
     SEGMENT_NACK = 9
+    CREDIT = 10
 
 
 # ===================================================================== messages
@@ -194,6 +195,20 @@ class Handover:
     segment_ids: Tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class CreditGrant:
+    """Flow-control credit return: the receiver has consumed ``credits``
+    data frames from this link, the sender may put that many more in
+    flight (see :mod:`repro.runtime.transport`).
+
+    Rides the control lane so a saturated data path can never starve the
+    very frames that would un-saturate it.
+    """
+
+    sender: int
+    credits: int
+
+
 WireMessage = Union[
     BufferMapMsg,
     SegmentRequest,
@@ -204,6 +219,7 @@ WireMessage = Union[
     Ping,
     Pong,
     Handover,
+    CreditGrant,
 ]
 
 
@@ -227,6 +243,7 @@ _LOOKUP_HEAD = struct.Struct(">IIIH")
 _RESP_HEAD = struct.Struct(">IIIIBfH")
 _PINGPONG = struct.Struct(">II")
 _HANDOVER_HEAD = struct.Struct(">IIH")
+_CREDIT = struct.Struct(">IH")
 
 
 def _encode_path(path: Tuple[int, ...]) -> bytes:
@@ -329,6 +346,13 @@ def encode(msg: WireMessage) -> bytes:
                 f">{len(msg.segment_ids)}I",
                 *(_check_u32(s, "segment_id") for s in msg.segment_ids),
             )
+        )
+    elif isinstance(msg, CreditGrant):
+        if msg.credits < 1:
+            raise WireError(f"credit grant must carry >= 1 credit, got {msg.credits}")
+        payload = bytes([WireKind.CREDIT]) + _CREDIT.pack(
+            _check_u32(msg.sender, "sender"),
+            _check_u16(msg.credits, "credits"),
         )
     else:
         raise WireError(f"cannot encode {type(msg).__name__}")
@@ -433,6 +457,13 @@ def _decode_body(kind: WireKind, body: bytes) -> WireMessage:
         sender, segment_bits, count = _HANDOVER_HEAD.unpack_from(body, 0)
         ids = _decode_ids(body, _HANDOVER_HEAD.size, count, "handover ids")
         return Handover(sender=sender, segment_bits=segment_bits, segment_ids=ids)
+    if kind is WireKind.CREDIT:
+        if len(body) != _CREDIT.size:
+            raise WireError("credit-grant body size mismatch")
+        sender, credits = _CREDIT.unpack(body)
+        if credits < 1:
+            raise WireError("credit grant must carry >= 1 credit")
+        return CreditGrant(sender=sender, credits=credits)
     raise WireError(f"unhandled wire kind {kind!r}")  # pragma: no cover
 
 
@@ -489,8 +520,9 @@ def ledger_entry(msg: WireMessage) -> Optional[Tuple[MessageKind, float]]:
       under ``MEMBERSHIP``.
 
     Returns ``None`` for messages the paper's overhead metrics do not
-    count (pull requests are treated as free control signalling, exactly
-    as in the round simulator).
+    count (pull requests and transport-level credit grants are treated as
+    free control signalling — the simulator has no analogue of either and
+    the paper's Section 5.4 accounting does not define them).
     """
     if isinstance(msg, BufferMapMsg):
         return (MessageKind.BUFFER_MAP, float(buffer_map_bits(msg.capacity)))
@@ -501,6 +533,6 @@ def ledger_entry(msg: WireMessage) -> Optional[Tuple[MessageKind, float]]:
         return (MessageKind.DHT_ROUTING, float(ROUTING_MESSAGE_BITS))
     if isinstance(msg, (Ping, Pong, Handover)):
         return (MessageKind.MEMBERSHIP, float(PING_MESSAGE_BITS))
-    if isinstance(msg, (SegmentRequest, SegmentNack)):
+    if isinstance(msg, (SegmentRequest, SegmentNack, CreditGrant)):
         return None
     raise WireError(f"no ledger rule for {type(msg).__name__}")

@@ -19,6 +19,7 @@ See ``docs/scenarios.md`` for the spec schema and the campaign CLI.
 """
 
 from repro.scenarios.campaign import (
+    BACKENDS,
     CampaignRunner,
     CampaignSpec,
     cell_seed_for,
@@ -35,6 +36,7 @@ from repro.scenarios.results import METRIC_NAMES, CellResult, ResultsStore
 from repro.scenarios.spec import ScenarioSpec, load_scenarios
 
 __all__ = [
+    "BACKENDS",
     "ScenarioSpec",
     "load_scenarios",
     "LossyNetworkPhase",

@@ -2,7 +2,12 @@
 
 A *campaign* fans a scenario × system × node-count × seed grid across
 ``multiprocessing`` workers and collects every cell's metrics into a
-:class:`~repro.scenarios.results.ResultsStore`.  Three properties matter:
+:class:`~repro.scenarios.results.ResultsStore`.  The grid can run on
+either **backend**: the lock-step round simulator (``backend="sim"``) or
+live asyncio swarms on the deterministic virtual clock
+(``backend="runtime"``) — same per-cell seeding, same JSONL schema, same
+summaries, so the paper's statistical claims can be checked against real
+concurrent peers with the same tooling.  Three properties matter:
 
 * **Deterministic per-cell seeding** — each cell's root seed is derived
   from ``(sweep seed, scenario, node count)`` via the same SHA-256
@@ -33,15 +38,21 @@ from repro.scenarios.results import CellResult, ResultsStore
 from repro.scenarios.spec import ScenarioSpec, load_scenarios
 from repro.sim.rng import derive_seed
 
+#: The engines a campaign can fan its grid over: the lock-step round
+#: simulator, or live asyncio swarms on the deterministic virtual clock.
+BACKENDS = ("sim", "runtime")
+
 
 def cell_seed_for(seed: int, scenario: str, num_nodes: int) -> int:
     """The deterministic root seed of one campaign cell.
 
-    Deliberately independent of the protocol: two systems sweeping the same
+    Deliberately independent of the protocol — and of the backend: two
+    systems (or the simulator and the live runtime) sweeping the same
     (seed, scenario, node count) share a root seed and therefore see the
     same topology, bandwidth assignment and churn schedule — the paired
     A/B methodology the rest of the repo uses (see ``run_comparison``), so
-    continuity deltas isolate the protocol rather than topology variance.
+    continuity deltas isolate the protocol (or engine) rather than
+    topology variance.
     """
     return derive_seed(seed, f"campaign/{scenario}/n{num_nodes}")
 
@@ -51,7 +62,18 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
 
     The payload is self-contained: the scenario's dict form plus the cell
     coordinates.  Returns the :meth:`CellResult.to_record` dict.
+
+    A ``"runtime"`` backend cell runs the identical spec as a live swarm
+    on the **virtual clock** (:mod:`repro.runtime.clock`), so the cell is
+    exactly as deterministic and machine-independent as a simulator cell:
+    the record depends only on the cell coordinates, with ``wall_time_s``
+    the single wall-clock-dependent field.  Both backends report the same
+    metric names (:data:`~repro.scenarios.results.METRIC_NAMES`), so the
+    JSONL schema and the summary structure are byte-compatible.
     """
+    backend = payload.get("backend", "sim")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown campaign backend {backend!r}; known: {BACKENDS}")
     spec = ScenarioSpec.from_dict(payload["scenario"]).scaled(
         num_nodes=payload["num_nodes"],
         rounds=payload["rounds"],
@@ -59,7 +81,16 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
         system=payload["system"],
     )
     start = time.perf_counter()
-    result = spec.run()
+    if backend == "runtime":
+        from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm
+
+        time_scale = payload.get("time_scale") or DEFAULT_TIME_SCALE
+        result = LiveSwarm(spec, time_scale=time_scale, clock="virtual").run()
+        joined, left = float(result.peers_joined), float(result.peers_left)
+    else:
+        result = spec.run()
+        joined = float(sum(r.nodes_joined for r in result.rounds))
+        left = float(sum(r.nodes_left for r in result.rounds))
     wall_time = time.perf_counter() - start
     series = result.continuity_series()
     metrics = {
@@ -68,8 +99,8 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
         "final_continuity": float(series[-1]) if series else 0.0,
         "prefetch_overhead": float(result.prefetch_overhead()),
         "control_overhead": float(result.control_overhead()),
-        "nodes_joined": float(sum(r.nodes_joined for r in result.rounds)),
-        "nodes_left": float(sum(r.nodes_left for r in result.rounds)),
+        "nodes_joined": joined,
+        "nodes_left": left,
     }
     return CellResult(
         scenario=payload["scenario"]["name"],
@@ -78,6 +109,7 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
         seed=payload["seed"],
         cell_seed=payload["cell_seed"],
         rounds=payload["rounds"],
+        backend=backend,
         metrics=metrics,
         wall_time_s=wall_time,
     ).to_record()
@@ -106,6 +138,14 @@ class CampaignSpec:
         node_counts: overlay sizes; ``None`` uses each scenario's own.
         systems: protocol names; ``None`` uses each scenario's own.
         rounds: round-count override; ``None`` uses each scenario's own.
+        backend: the engine every cell runs on — ``"sim"`` (default) or
+            ``"runtime"`` (live virtual-clock swarms); per-cell seeds are
+            backend-independent so sim and runtime sweeps of the same grid
+            pair on identical overlays.
+        time_scale: runtime-backend period compression; ``None`` uses the
+            runtime default (irrelevant to the sim backend; on the virtual
+            clock it shifts relative link-latency granularity only, not
+            wall time).
     """
 
     scenarios: Tuple[ScenarioSpec, ...]
@@ -113,12 +153,20 @@ class CampaignSpec:
     node_counts: Optional[Tuple[int, ...]] = None
     systems: Optional[Tuple[str, ...]] = None
     rounds: Optional[int] = None
+    backend: str = "sim"
+    time_scale: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
             raise ValueError("a campaign needs at least one scenario")
         if not self.seeds:
             raise ValueError("a campaign needs at least one seed")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown campaign backend {self.backend!r}; known: {BACKENDS}"
+            )
+        if self.time_scale is not None and self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
         names = [scenario.name for scenario in self.scenarios]
         duplicates = sorted({name for name in names if names.count(name) > 1})
         if duplicates:
@@ -158,6 +206,8 @@ class CampaignSpec:
                                 "cell_seed": cell_seed_for(
                                     seed, scenario.name, num_nodes
                                 ),
+                                "backend": self.backend,
+                                "time_scale": self.time_scale,
                             }
                         )
         return payloads
@@ -232,11 +282,15 @@ def run_campaign(
     rounds: Optional[int] = None,
     workers: int = 1,
     results_path: Optional[Union[str, Path]] = None,
+    backend: str = "sim",
+    time_scale: Optional[float] = None,
 ) -> ResultsStore:
     """Convenience wrapper: resolve scenarios, build the grid, run it.
 
     ``scenarios`` may mix :class:`ScenarioSpec` objects, spec file paths
-    and built-in scenario names.
+    and built-in scenario names.  ``backend="runtime"`` fans the same grid
+    over live virtual-clock swarms instead of the simulator (identical
+    per-cell seeding, JSONL schema and summaries).
     """
     campaign = CampaignSpec(
         scenarios=load_scenarios(scenarios),
@@ -244,6 +298,8 @@ def run_campaign(
         node_counts=None if node_counts is None else tuple(node_counts),
         systems=None if systems is None else tuple(systems),
         rounds=rounds,
+        backend=backend,
+        time_scale=time_scale,
     )
     store = ResultsStore(path=results_path)
     return CampaignRunner(campaign, workers=workers).run(store)

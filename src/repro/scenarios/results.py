@@ -43,8 +43,14 @@ class CellResult:
         seed: the sweep seed the user asked for.
         cell_seed: the derived root seed the simulation actually used.
         rounds: scheduling periods simulated.
+        backend: which engine ran the cell — ``"sim"`` (the lock-step
+            round simulator) or ``"runtime"`` (a live swarm on the
+            deterministic virtual clock).  Both report the identical
+            metric schema (:data:`METRIC_NAMES`).
         metrics: named scalar results (see :data:`METRIC_NAMES`).
-        wall_time_s: wall-clock seconds the cell took (not aggregated).
+        wall_time_s: wall-clock seconds the cell took (not aggregated,
+            and the *only* machine-dependent field of a record — see
+            docs/scenarios.md on campaign determinism).
     """
 
     scenario: str
@@ -53,6 +59,7 @@ class CellResult:
     seed: int
     cell_seed: int
     rounds: int
+    backend: str = "sim"
     metrics: Dict[str, float] = field(default_factory=dict)
     wall_time_s: float = 0.0
 

@@ -1,0 +1,362 @@
+"""Bounded-transport semantics and the backpressured swarm's guarantees.
+
+Covers the flow-control primitives (two-lane bounded inbox, per-link
+credit windows, credit ledger batching), their aggregation into run
+summaries, swarm-level bounded-memory behaviour under stress scenarios,
+and the regression test for the 200-peer ``BENCH_runtime.json`` anomaly:
+stable continuity at the bench's swarm size and time scale must stay
+≥ 0.9 now that overload dilates the schedule coherently instead of
+letting peers' clocks drift apart (see docs/runtime.md).
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.analysis.metrics import summarize_ledger
+from repro.net.message import MessageLedger
+from repro.runtime import LiveSwarm
+from repro.runtime.transport import (
+    BoundedInbox,
+    CreditLedger,
+    SendWindowSet,
+    TransportConfig,
+    TransportStats,
+    TransportSummary,
+)
+from repro.scenarios.library import builtin_scenario
+
+TIME_SCALE = float(os.environ.get("CONTINU_RUNTIME_TIME_SCALE", "0.5"))
+
+
+class TestTransportConfig:
+    def test_defaults_are_positive_and_batched(self):
+        config = TransportConfig()
+        assert config.inbox_watermark >= 1
+        assert config.data_window >= 1
+        assert 1 <= config.credit_batch <= config.data_window
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"inbox_watermark": 0},
+            {"data_window": 0},
+            {"pending_limit": 0},
+            {"inbox_watermark": -5},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TransportConfig(**kwargs)
+
+
+class TestBoundedInbox:
+    def test_control_lane_always_drains_first(self):
+        stats = TransportStats()
+        inbox = BoundedInbox(watermark=8, stats=stats)
+        inbox.put(1, b"data-1", control=False)
+        inbox.put(2, b"ctl-1", control=True)
+        inbox.put(3, b"data-2", control=False)
+        inbox.put(4, b"ctl-2", control=True)
+
+        async def drain():
+            return [await inbox.get() for _ in range(4)]
+
+        order = asyncio.run(drain())
+        assert [frame for _, frame, _ in order] == [
+            b"ctl-1", b"ctl-2", b"data-1", b"data-2",
+        ]
+        assert [was_control for _, _, was_control in order] == [
+            True, True, False, False,
+        ]
+
+    def test_each_lane_sheds_at_its_watermark(self):
+        stats = TransportStats()
+        inbox = BoundedInbox(watermark=2, stats=stats)
+        assert inbox.put(1, b"d1", control=False)
+        assert inbox.put(1, b"d2", control=False)
+        assert not inbox.put(1, b"d3", control=False)  # data lane full
+        assert inbox.put(1, b"c1", control=True)  # control lane unaffected
+        assert inbox.put(1, b"c2", control=True)
+        assert not inbox.put(1, b"c3", control=True)
+        assert stats.inbox_dropped_data == 1
+        assert stats.inbox_dropped_control == 1
+        assert stats.inbox_high_watermark == 4
+        assert len(inbox) == 4
+
+    def test_get_batch_returns_everything_control_first(self):
+        stats = TransportStats()
+        inbox = BoundedInbox(watermark=8, stats=stats)
+        inbox.put(1, b"d", control=False)
+        inbox.put(2, b"c", control=True)
+
+        async def drain():
+            return await inbox.get_batch()
+
+        batch = asyncio.run(drain())
+        assert [frame for _, frame, _ in batch] == [b"c", b"d"]
+        assert len(inbox) == 0
+
+    def test_get_blocks_until_put(self):
+        stats = TransportStats()
+        inbox = BoundedInbox(watermark=4, stats=stats)
+
+        async def scenario():
+            getter = asyncio.create_task(inbox.get())
+            await asyncio.sleep(0.01)
+            assert not getter.done()
+            inbox.put(9, b"late", control=True)
+            return await asyncio.wait_for(getter, timeout=1.0)
+
+        src, frame, was_control = asyncio.run(scenario())
+        assert (src, frame, was_control) == (9, b"late", True)
+
+    def test_zero_watermark_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedInbox(watermark=0, stats=TransportStats())
+
+
+class TestSendWindowSet:
+    def test_window_exhaustion_queues_then_grant_releases_in_order(self):
+        stats = TransportStats()
+        windows = SendWindowSet(TransportConfig(data_window=2), stats)
+        assert windows.acquire(7, "a")
+        assert windows.acquire(7, "b")
+        assert not windows.acquire(7, "c")  # window spent: queued
+        assert not windows.acquire(7, "d")
+        assert stats.send_stalls == 2
+        assert windows.pending_count() == 2
+        released = windows.grant(7, 2)
+        assert released == ["c", "d"]
+        assert windows.pending_count() == 0
+
+    def test_fifo_order_is_preserved_across_partial_grants(self):
+        windows = SendWindowSet(TransportConfig(data_window=1), TransportStats())
+        assert windows.acquire(7, "a")
+        for item in "bcd":
+            assert not windows.acquire(7, item)
+        assert windows.grant(7, 1) == ["b"]
+        assert windows.grant(7, 2) == ["c", "d"]
+
+    def test_pending_overflow_sheds_oldest(self):
+        stats = TransportStats()
+        windows = SendWindowSet(
+            TransportConfig(data_window=1, pending_limit=2), stats
+        )
+        assert windows.acquire(3, "sent")
+        for item in ("p1", "p2", "p3"):
+            assert not windows.acquire(3, item)
+        assert stats.pending_shed == 1
+        assert windows.grant(3, 3) == ["p2", "p3"]  # p1 was shed
+
+    def test_credits_never_exceed_the_window(self):
+        windows = SendWindowSet(TransportConfig(data_window=4), TransportStats())
+        windows.grant(5, 100)
+        assert windows.link(5).credits == 4
+
+    def test_links_are_independent(self):
+        stats = TransportStats()
+        windows = SendWindowSet(TransportConfig(data_window=1), stats)
+        assert windows.acquire(1, "x")
+        assert windows.acquire(2, "y")  # other link has its own window
+        assert stats.send_stalls == 0
+
+    def test_reset_forgets_exhausted_link_state(self):
+        """A departed peer's link resets: a joiner recycled onto the same
+        ring id must meet a fresh full window, not a wedged one."""
+        windows = SendWindowSet(TransportConfig(data_window=1), TransportStats())
+        assert windows.acquire(9, "sent")
+        assert not windows.acquire(9, "stuck")
+        windows.reset(9)
+        assert windows.pending_count() == 0
+        assert windows.acquire(9, "fresh")  # full window again
+
+
+class TestCreditLedger:
+    def test_batches_at_threshold(self):
+        ledger = CreditLedger(batch=3)
+        assert not ledger.consume(5)
+        assert not ledger.consume(5)
+        assert ledger.consume(5)  # third consumption: grant due
+        assert ledger.take(5) == 3
+        assert ledger.take(5) == 0
+
+    def test_drain_collects_all_balances(self):
+        ledger = CreditLedger(batch=10)
+        ledger.consume(1)
+        ledger.consume(1)
+        ledger.consume(2)
+        assert ledger.drain() == {1: 2, 2: 1}
+        assert ledger.drain() == {}
+
+
+class TestTransportSummary:
+    def test_aggregate_sums_counters_and_maxes_watermarks(self):
+        a = TransportStats(
+            inbox_high_watermark=10, send_stalls=2, credits_granted=5,
+            inbox_dropped_data=1, pending_high_watermark=3,
+        )
+        b = TransportStats(
+            inbox_high_watermark=7, send_stalls=4, credits_granted=1,
+            inbox_dropped_control=2, pending_high_watermark=9,
+        )
+        summary = TransportSummary.aggregate([a, b])
+        assert summary.inbox_high_watermark == 10
+        assert summary.pending_high_watermark == 9
+        assert summary.send_stalls == 6
+        assert summary.credits_granted == 6
+        assert summary.inbox_dropped_data == 1
+        assert summary.inbox_dropped_control == 2
+
+    def test_summarize_ledger_reports_stall_counts(self):
+        summary = TransportSummary.aggregate(
+            [TransportStats(send_stalls=3, inbox_high_watermark=12)]
+        )
+        facts = summarize_ledger(MessageLedger(), transport=summary)
+        assert facts["transport_send_stalls"] == 3.0
+        assert facts["transport_inbox_high_watermark"] == 12.0
+        # the plain ledger summary is unchanged without a transport
+        assert "transport_send_stalls" not in summarize_ledger(MessageLedger())
+
+
+class TestSwarmBoundedness:
+    """Every inbox/transport in a live swarm is bounded and configurable."""
+
+    def test_every_peer_gets_the_configured_watermark(self):
+        config = TransportConfig(inbox_watermark=17, data_window=3)
+        swarm = LiveSwarm(
+            builtin_scenario("static").scaled(num_nodes=12, rounds=2),
+            transport=config,
+            clock="virtual",
+        ).build()
+        for peer in swarm.peers.values():
+            assert peer.inbox.watermark == 17
+            assert peer.send_windows.config.data_window == 3
+
+    def test_tiny_windows_stall_but_never_deadlock(self):
+        """A deliberately starved transport still completes and delivers."""
+        result = LiveSwarm(
+            builtin_scenario("static").scaled(num_nodes=20, rounds=8),
+            transport=TransportConfig(
+                inbox_watermark=16, data_window=1, pending_limit=4
+            ),
+            clock="virtual",
+        ).run()
+        assert len(result.continuity_series()) == 8
+        assert result.segments_delivered() > 0
+        assert result.transport.send_stalls > 0  # the window actually bit
+        assert result.transport.credits_granted > 0
+
+    @pytest.mark.parametrize("scenario", ["blackout", "flash-crowd"])
+    def test_stress_scenarios_complete_within_bounds(self, scenario):
+        """ISSUE-4 acceptance: blackout and flash-crowd complete without
+        deadlock or unbounded queue growth, stall counts reported."""
+        config = TransportConfig(inbox_watermark=256, data_window=8)
+        swarm = LiveSwarm(
+            builtin_scenario(scenario).scaled(num_nodes=30, rounds=12),
+            transport=config,
+            clock="virtual",
+        )
+        result = swarm.run()
+        assert len(result.continuity_series()) == 12
+        assert result.stable_continuity() > 0.5
+        # bounded: no queue ever exceeded its configured ceiling
+        assert result.transport.inbox_high_watermark <= 2 * config.inbox_watermark
+        assert result.transport.pending_high_watermark <= config.pending_limit
+        # the summary carries the stall/shed counters (>= 0 and present)
+        facts = result.transport.to_dict()
+        for key in ("send_stalls", "inbox_dropped_data", "pending_shed"):
+            assert key in facts
+
+    def test_shed_credit_grants_are_still_applied(self):
+        """A CreditGrant shed at a full control lane must still restore
+        the sender's window — the granting side already reset its owed
+        balance, so losing the frame would shrink the window forever."""
+        from repro.runtime import wire
+
+        swarm = LiveSwarm(
+            builtin_scenario("static").scaled(num_nodes=10, rounds=2),
+            transport=TransportConfig(data_window=1),
+            clock="virtual",
+        ).build()
+        peers = iter(swarm.peers.values())
+        peer, other = next(peers), next(peers)
+        # exhaust the window towards `other` and queue one pending frame
+        assert peer.send_windows.acquire(other.peer_id, (b"f1", None))
+        assert not peer.send_windows.acquire(other.peer_id, (b"f2", None))
+        assert peer.send_windows.pending_count() == 1
+        grant = wire.encode(wire.CreditGrant(sender=other.peer_id, credits=1))
+
+        async def shed():
+            peer.absorb_shed_control(grant)
+
+        asyncio.run(shed())
+        assert peer.send_windows.pending_count() == 0  # pending frame released
+        # repeatable control frames shed silently, no state change
+        peer.absorb_shed_control(wire.encode(wire.Ping(sender=1, nonce=2)))
+
+    def test_shed_handovers_are_still_applied(self):
+        """A graceful-leave Handover shed at a full control lane must
+        still reach the successor's backup store — the departing sender
+        stops right after shipping it, so there is no retransmit."""
+        from repro.runtime import wire
+
+        swarm = LiveSwarm(
+            builtin_scenario("static").scaled(num_nodes=10, rounds=2),
+            clock="virtual",
+        ).build()
+        peer = next(p for p in swarm.peers.values() if not p.is_source)
+        frame = wire.encode(
+            wire.Handover(
+                sender=1,
+                segment_bits=swarm.config.segment_bits,
+                segment_ids=(5, 6),
+            )
+        )
+        peer.absorb_shed_control(frame)
+        assert peer.node.serves_segment(5)
+        assert peer.node.serves_segment(6)
+
+    def test_shed_data_frames_refund_their_credits(self):
+        """Inbox overflow must not wedge the sender's window: with a
+         1-frame data lane, sheds are frequent, yet transfers continue
+        every period (credits flow back for shed frames)."""
+        result = LiveSwarm(
+            builtin_scenario("static").scaled(num_nodes=15, rounds=10),
+            transport=TransportConfig(inbox_watermark=1, data_window=2),
+            clock="virtual",
+        ).run()
+        assert result.transport.inbox_dropped_data > 0
+        # deliveries keep happening in the stable phase despite the sheds
+        assert result.stable_continuity() > 0.0
+        assert result.segments_delivered() > 0
+
+
+@pytest.mark.slow
+class TestBenchAnomalyRegression:
+    """The BENCH_runtime.json 200-peer anomaly, pinned fixed.
+
+    The seed artifact recorded stable_continuity 0.343 at 200 peers with
+    ``time_scale = 0.1`` (the bench's aggressive clock): without
+    backpressure or coherent pacing, the overloaded event loop let peers'
+    period clocks drift apart.  Post-fix, the swarm dilates its schedule
+    coherently under overload, so the same settings (with enough rounds
+    for a stable phase — the sim itself only reaches ~0.73 at the old
+    12-round horizon) must stream at ≥ 0.9.
+    """
+
+    def test_bench_settings_reach_stable_continuity(self):
+        result = LiveSwarm(
+            builtin_scenario("static").scaled(num_nodes=200, rounds=30),
+            time_scale=0.1,
+            clock="wall",
+        ).run()
+        assert result.stable_continuity() >= 0.9, (
+            f"stable continuity {result.stable_continuity():.4f} at the "
+            f"bench's 200-peer settings (dilated {result.clock_dilations}x, "
+            f"+{result.clock_dilation_s:.2f}s)"
+        )
+        # overload is expected at this clock; the fix is that the swarm
+        # stretches coherently instead of collapsing
+        assert result.clock_dilations > 0

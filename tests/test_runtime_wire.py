@@ -52,6 +52,9 @@ def sample_messages():
         wire.Handover(
             sender=4, segment_bits=30 * 1024, segment_ids=tuple(range(100))
         ),
+        # -- flow-control plane
+        wire.CreditGrant(sender=0, credits=1),
+        wire.CreditGrant(sender=2**32 - 1, credits=2**16 - 1),
     ]
 
 
@@ -71,6 +74,7 @@ class TestRoundTrip:
             wire.WireKind.PING: "Ping",
             wire.WireKind.PONG: "Pong",
             wire.WireKind.HANDOVER: "Handover",
+            wire.WireKind.CREDIT: "CreditGrant",
         }
         assert set(by_kind) == set(wire.WireKind), "update the map for new kinds"
         assert covered == set(by_kind.values())
@@ -266,3 +270,4 @@ class TestLedgerAccounting:
     def test_pull_requests_are_not_charged(self):
         assert wire.ledger_entry(wire.SegmentRequest(sender=1, segment_id=2)) is None
         assert wire.ledger_entry(wire.SegmentNack(sender=1, segment_id=2)) is None
+        assert wire.ledger_entry(wire.CreditGrant(sender=1, credits=4)) is None

@@ -1,0 +1,176 @@
+"""Hypothesis property tests for the runtime wire codec.
+
+Three properties, each over generated rather than hand-picked inputs:
+
+1. **Round-trip** — every valid frame of every kind decodes back to the
+   message that encoded it (``DhtResponse.rate`` is exact because the
+   strategy draws float32-representable values, matching the wire width).
+2. **Garbage resilience** — feeding arbitrary bytes to a
+   :class:`~repro.runtime.wire.FrameDecoder` either yields messages or
+   raises :class:`~repro.runtime.wire.WireError` (the documented
+   poisoned-stream signal); never any other exception, never an
+   unbounded buffer (a hostile length prefix cannot make it allocate
+   past one frame).
+3. **Truncation at every offset** — a valid frame split at *every* byte
+   position decodes once the rest arrives, and arbitrary re-chunkings of
+   a frame sequence deliver the same messages in the same order.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.runtime import wire  # noqa: E402
+
+u32 = st.integers(0, 2**32 - 1)
+u16 = st.integers(0, 2**16 - 1)
+flags = st.booleans()
+paths = st.lists(u32, max_size=64).map(tuple)
+rates = st.floats(
+    width=32, min_value=0.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def buffer_map_msgs(draw):
+    capacity = draw(st.integers(1, 700))
+    nbytes = (capacity + 7) // 8
+    return wire.BufferMapMsg(
+        sender=draw(u32),
+        newest_id=draw(st.integers(-1, 2**31 - 1)),
+        head_id=draw(u32),
+        capacity=capacity,
+        bitmap=draw(st.binary(min_size=nbytes, max_size=nbytes)),
+    )
+
+
+wire_messages = st.one_of(
+    buffer_map_msgs(),
+    st.builds(wire.SegmentRequest, sender=u32, segment_id=u32, prefetch=flags),
+    st.builds(wire.SegmentNack, sender=u32, segment_id=u32, prefetch=flags),
+    st.builds(
+        wire.SegmentData, sender=u32, segment_id=u32, size_bits=u32, prefetch=flags
+    ),
+    st.builds(
+        wire.DhtLookup, origin=u32, target_key=u32, segment_id=u32, path=paths
+    ),
+    st.builds(
+        wire.DhtResponse,
+        responder=u32,
+        origin=u32,
+        target_key=u32,
+        segment_id=u32,
+        has_data=flags,
+        rate=rates,
+        path=paths,
+    ),
+    st.builds(wire.Ping, sender=u32, nonce=u32),
+    st.builds(wire.Pong, sender=u32, nonce=u32),
+    st.builds(
+        wire.Handover,
+        sender=u32,
+        segment_bits=u32,
+        segment_ids=st.lists(u32, max_size=128).map(tuple),
+    ),
+    st.builds(wire.CreditGrant, sender=u32, credits=st.integers(1, 2**16 - 1)),
+)
+
+
+class TestRoundTripProperty:
+    @given(msg=wire_messages)
+    @settings(max_examples=300, deadline=None)
+    def test_any_valid_frame_round_trips(self, msg):
+        frame = wire.encode(msg)
+        decoded, consumed = wire.decode(frame)
+        assert consumed == len(frame)
+        assert decoded == msg
+
+    @given(msgs=st.lists(wire_messages, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_concatenated_frames_round_trip_in_order(self, msgs):
+        stream = b"".join(wire.encode(m) for m in msgs)
+        decoded = wire.FrameDecoder().feed(stream)
+        assert decoded == msgs
+
+
+class TestGarbageResilience:
+    @given(garbage=st.binary(max_size=4096))
+    @settings(max_examples=300, deadline=None)
+    def test_decoder_raises_nothing_but_wire_errors(self, garbage):
+        decoder = wire.FrameDecoder()
+        try:
+            messages = decoder.feed(garbage)
+        except wire.WireError:
+            return  # poisoned stream: the documented failure mode
+        for msg in messages:
+            assert wire.encode(msg)  # whatever decoded is a valid message
+        # partial trailing bytes stay bounded by one frame
+        assert decoder.pending_bytes <= wire.MAX_FRAME_PAYLOAD + 4
+
+    @given(garbage=st.binary(max_size=512), msg=wire_messages)
+    @settings(max_examples=150, deadline=None)
+    def test_frames_fed_before_poisoning_are_unaffected(self, garbage, msg):
+        decoder = wire.FrameDecoder()
+        messages = decoder.feed(wire.encode(msg))
+        assert messages == [msg]
+        try:
+            later = decoder.feed(garbage)
+        except wire.WireError:
+            return  # poisoning only affects the stream from here on
+        for extra in later:
+            assert wire.encode(extra)
+
+    @given(prefix=st.binary(min_size=4, max_size=64))
+    @settings(max_examples=150, deadline=None)
+    def test_hostile_length_prefix_cannot_demand_unbounded_memory(self, prefix):
+        decoder = wire.FrameDecoder()
+        try:
+            decoder.feed(prefix)
+        except wire.WireError:
+            return
+        assert decoder.pending_bytes <= wire.MAX_FRAME_PAYLOAD + 4
+
+
+class TestTruncationProperty:
+    @given(msg=wire_messages)
+    @settings(max_examples=150, deadline=None)
+    def test_split_at_every_offset_decodes_after_completion(self, msg):
+        frame = wire.encode(msg)
+        for offset in range(len(frame) + 1):
+            decoder = wire.FrameDecoder()
+            first = decoder.feed(frame[:offset])
+            rest = decoder.feed(frame[offset:])
+            assert first + rest == [msg], f"split at {offset} failed"
+            assert decoder.pending_bytes == 0
+
+    @given(msg=wire_messages)
+    @settings(max_examples=150, deadline=None)
+    def test_decode_of_every_truncation_raises_truncated(self, msg):
+        frame = wire.encode(msg)
+        for offset in range(len(frame)):
+            with pytest.raises(wire.TruncatedFrameError):
+                wire.decode(frame[:offset])
+
+    @given(
+        msgs=st.lists(wire_messages, min_size=1, max_size=5),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_rechunking_preserves_the_message_sequence(self, msgs, data):
+        stream = b"".join(wire.encode(m) for m in msgs)
+        cuts = sorted(
+            data.draw(
+                st.lists(st.integers(0, len(stream)), max_size=10),
+                label="chunk boundaries",
+            )
+        )
+        decoder = wire.FrameDecoder()
+        decoded = []
+        last = 0
+        for cut in cuts + [len(stream)]:
+            decoded.extend(decoder.feed(stream[last:cut]))
+            last = cut
+        assert decoded == msgs
+        assert decoder.pending_bytes == 0
