@@ -82,6 +82,33 @@ def summarize_ledger(
     return summary
 
 
+def throughput_scaling(
+    throughput_by_shards: Mapping[int, float]
+) -> Dict[int, Dict[str, float]]:
+    """Speedup and parallel efficiency of a shard-count scaling sweep.
+
+    Given ``{shard_count: aggregate throughput}`` (e.g. the cluster
+    benchmark's messages/sec at 1/2/4 shards), returns per shard count
+    the ``speedup`` over the smallest swept count and the ``efficiency``
+    (speedup divided by the shard-count ratio — 1.0 is perfect linear
+    scaling).  The baseline is the smallest shard count, which makes the
+    numbers read as "what did adding processes buy".
+    """
+    if not throughput_by_shards:
+        return {}
+    base_shards = min(throughput_by_shards)
+    base = throughput_by_shards[base_shards]
+    scaling: Dict[int, Dict[str, float]] = {}
+    for shards in sorted(throughput_by_shards):
+        speedup = throughput_by_shards[shards] / base if base > 0 else 0.0
+        ratio = shards / base_shards
+        scaling[shards] = {
+            "speedup": float(speedup),
+            "efficiency": float(speedup / ratio) if ratio > 0 else 0.0,
+        }
+    return scaling
+
+
 def moving_average(series: Sequence[float], window: int) -> List[float]:
     """Simple trailing moving average (window clipped at the series start)."""
     if window <= 0:

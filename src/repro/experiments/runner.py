@@ -23,6 +23,12 @@ Usage (installed as ``continustreaming-experiments``)::
     continustreaming-experiments runtime --parity --nodes 200 --rounds 60 --time-scale 0.5
     continustreaming-experiments runtime --parity-matrix --clock virtual --nodes 120
 
+    # sharded multi-process cluster over TCP (see docs/cluster.md):
+    continustreaming-experiments cluster --shards 4            # 1000 peers
+    continustreaming-experiments cluster --shards 2 --nodes 100 --rounds 20
+    continustreaming-experiments runtime --parity-matrix --backend cluster --nodes 60
+    continustreaming-experiments campaign --backend cluster --shards 2 --nodes 80
+
 ``--scale paper`` uses the paper's node counts (slow: thousands of nodes);
 ``--scale small`` (default) uses laptop-friendly sizes that preserve the
 qualitative shape.
@@ -185,6 +191,7 @@ def cmd_campaign(args: argparse.Namespace) -> str:
             results_path=results_path,
             backend=args.backend,
             time_scale=args.time_scale,
+            shards=args.shards,
         )
     except (ValueError, RuntimeError) as exc:
         # ValueError: bad scenario names/specs; RuntimeError: e.g. a YAML
@@ -288,6 +295,78 @@ def cmd_runtime(args: argparse.Namespace) -> str:
     return out
 
 
+def cmd_cluster(args: argparse.Namespace) -> str:
+    """Run a scenario as a sharded multi-process swarm (docs/cluster.md)."""
+    from repro.analysis.metrics import summarize_ledger
+    from repro.runtime.cluster import run_cluster
+    from repro.scenarios import load_scenarios
+
+    names = args.scenario or ["static"]
+    if len(names) > 1:
+        raise SystemExit(
+            f"cluster runs one scenario per invocation, got {len(names)}: "
+            f"{' '.join(names)} (campaigns sweep multiple scenarios)"
+        )
+    try:
+        (spec,) = load_scenarios(names)
+    except (ValueError, RuntimeError) as exc:
+        raise SystemExit(f"cluster error: {exc}") from exc
+    nodes = args.nodes or 1000
+    rounds = args.rounds or 30
+    spec = spec.scaled(num_nodes=nodes, rounds=rounds, seed=args.seed)
+    try:
+        result = run_cluster(
+            spec, shards=args.shards, rounds=rounds, time_scale=args.time_scale
+        )
+    except RuntimeError as exc:
+        raise SystemExit(f"cluster error: {exc}") from exc
+    continuity = result.stable_continuity()
+    ledger = summarize_ledger(result.ledger, transport=result.transport)
+    cluster = result.cluster or {}
+    socket = cluster.get("socket", {})
+    lines = [
+        f"cluster {spec.name} n={nodes} rounds={rounds} shards={args.shards} "
+        f"time_scale={result.time_scale:.3g} ({spec.system}):",
+        f"  stable continuity {continuity:.4f}  "
+        f"(final {result.continuity_series()[-1]:.4f})",
+        f"  control overhead {ledger['control_overhead']:.4f}, "
+        f"prefetch overhead {ledger['prefetch_overhead']:.4f}",
+        f"  {result.messages_sent} wire messages "
+        f"({result.messages_per_wall_second():.0f}/s wall), "
+        f"{result.segments_delivered()} segments "
+        f"({result.segments_per_wall_second():.0f}/s wall)",
+        f"  sockets: {socket.get('frames_out', 0)} frames out / "
+        f"{socket.get('frames_in', 0)} in, {socket.get('bytes_out', 0)} bytes out, "
+        f"{socket.get('sheds', 0)} shed, {socket.get('disconnects', 0)} disconnects",
+        f"  transport: {result.transport.formatted()}",
+        f"  peers +{result.peers_joined}/-{result.peers_left}, "
+        f"{result.messages_dropped} frames dropped, "
+        f"schedule dilated {result.clock_dilations}x "
+        f"(+{result.clock_dilation_s:.2f}s), "
+        f"shards lost {cluster.get('shards_lost', 0)}, "
+        f"wall {result.wall_time_s:.2f}s",
+    ]
+    per_shard = cluster.get("per_shard", [])
+    if per_shard:
+        lines.append(
+            "  shards: "
+            + ", ".join(
+                f"#{row['shard']}{'*' if row.get('hosts_source') else ''}"
+                f" {row['hosted_peers']} peers"
+                for row in per_shard
+            )
+            + "  (* hosts the source)"
+        )
+    out = "\n".join(lines)
+    if args.assert_continuity is not None and continuity < args.assert_continuity:
+        print(out)
+        raise SystemExit(
+            f"cluster stable continuity {continuity:.4f} is below the "
+            f"required {args.assert_continuity}"
+        )
+    return out
+
+
 def _parity_matrix(
     args: argparse.Namespace,
     names: List[str],
@@ -295,13 +374,17 @@ def _parity_matrix(
     rounds: int,
     time_scale: float,
 ) -> str:
-    """Run the sim-vs-runtime parity matrix over several scenarios."""
+    """Run the sim-vs-live parity matrix over several scenarios."""
     from repro.runtime.parity import PARITY_TOLERANCE, run_parity_matrix
 
     scenarios = None if args.scenario is None else names
     tolerance = (
         PARITY_TOLERANCE if args.tolerance is None else args.tolerance
     )
+    # The campaign-oriented --backend flag doubles as the parity-matrix
+    # axis: "cluster" puts sharded multi-process swarms on the live side;
+    # anything else keeps the standard single-process runtime.
+    backend = "cluster" if args.backend == "cluster" else "runtime"
     matrix = run_parity_matrix(
         scenarios=scenarios,
         num_nodes=nodes,
@@ -309,6 +392,8 @@ def _parity_matrix(
         seed=args.seed,
         time_scale=time_scale,
         clock=args.clock,
+        backend=backend,
+        shards=args.shards,
     )
     out = matrix.formatted(tolerance)
     failures = matrix.failures(tolerance)
@@ -350,10 +435,11 @@ COMMANDS = {
     "ablations": cmd_ablations,
     "campaign": cmd_campaign,
     "runtime": cmd_runtime,
+    "cluster": cmd_cluster,
 }
 
 #: Commands that sweep grids or run live swarms; excluded from ``all``.
-_EXCLUDED_FROM_ALL = ("campaign", "runtime")
+_EXCLUDED_FROM_ALL = ("campaign", "runtime", "cluster")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -395,9 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="DIR",
         help="directory for campaign_results.jsonl + campaign_summary.json")
     campaign_group.add_argument(
-        "--backend", choices=("sim", "runtime"), default="sim",
-        help="engine for campaign cells: the lock-step simulator (default) "
-        "or live virtual-clock swarms (identical seeding and JSONL schema)")
+        "--backend", choices=("sim", "runtime", "cluster"), default="sim",
+        help="engine for campaign cells: the lock-step simulator (default), "
+        "live virtual-clock swarms (identical seeding and JSONL schema) or "
+        "sharded multi-process cluster swarms over TCP; for runtime "
+        "--parity-matrix, 'cluster' puts the cluster on the live side")
     runtime_group = parser.add_argument_group("runtime options")
     runtime_group.add_argument(
         "--time-scale", type=float, default=None, metavar="S",
@@ -422,6 +510,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--assert-continuity", type=float, default=None, metavar="X",
         help="exit non-zero unless the runtime's stable continuity reaches X "
         "(used by the CI runtime smoke step)")
+    cluster_group = parser.add_argument_group("cluster options")
+    cluster_group.add_argument(
+        "--shards", type=int, default=4,
+        help="worker processes for the cluster command, cluster-backend "
+        "campaigns and the cluster parity axis (default: 4; the cluster "
+        "command defaults to 1000 peers — see docs/cluster.md)")
     return parser
 
 

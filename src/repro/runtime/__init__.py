@@ -17,11 +17,19 @@ frames over in-process loopback transports:
   collecting continuity/overhead metrics;
 * :mod:`repro.runtime.parity` — the sim-vs-runtime parity harness.
 
-This is the layer future deployment work (real sockets across processes
-and hosts, backpressure, sharding) plugs into; see ``docs/runtime.md``.
+Deployment at scale lives in :mod:`repro.runtime.cluster`: the same
+swarm sharded across worker processes, cross-shard links on real TCP
+sockets behind the same codec (``docs/cluster.md``); see
+``docs/runtime.md`` for the single-process runtime.
 """
 
 from repro.runtime.clock import VirtualClockEventLoop, run_on_virtual_clock
+from repro.runtime.cluster import (
+    ClusterConfig,
+    ClusterCoordinator,
+    LinkConfig,
+    run_cluster,
+)
 from repro.runtime.parity import (
     PARITY_TOLERANCE,
     ParityMatrix,
@@ -65,7 +73,11 @@ __all__ = [
     "BoundedInbox",
     "BufferMapMsg",
     "CLOCKS",
+    "ClusterConfig",
+    "ClusterCoordinator",
     "CreditGrant",
+    "LinkConfig",
+    "run_cluster",
     "DEFAULT_TIME_SCALE",
     "DhtLookup",
     "DhtResponse",

@@ -1,0 +1,223 @@
+"""One shard of a clustered live swarm.
+
+A :class:`ShardSwarm` is a :class:`~repro.runtime.swarm.LiveSwarm` that
+*builds* the whole overlay but *hosts* only the peers whose ring id falls
+in its shard's range.  Everything the simulator's construction produces —
+topology, bandwidth, latency, peer tables, DHT fingers, the churn
+schedule and every seeded random stream — is deterministic in the
+scenario spec, so the N worker processes build byte-identical overlays
+independently and agree, without any synchronisation, on who exists,
+who partners whom, and (by replaying the same churn draws at the same
+boundaries) who leaves and joins when.  What *differs* per shard is the
+live state: only the hosted peers run as tasks, and frames for peers
+hosted elsewhere leave through a :class:`~repro.runtime.cluster.links.
+SocketLink` instead of the loopback path.
+
+Ring-id ranges partition the identifier space contiguously
+(:meth:`ShardSwarm.shard_of`); ids are assigned uniformly at random by
+the Rendezvous Point, so the ranges balance.  Cross-process schedule
+coherence comes from two mechanisms:
+
+* a shared **start instant** (``start_at``, CLOCK_MONOTONIC — comparable
+  across processes on one machine) anchors every shard's period clock;
+* the per-boundary **lateness exchange** (:meth:`_boundary_sync`): each
+  shard reports its worst observed lateness to the coordinator and
+  receives the cluster-wide maximum back, so the adaptive overload
+  dilation of PR 4 stays *coherent across processes* — every shard
+  stretches its schedule by the same amount at the same boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.runtime.cluster.links import Link, LinkConfig, SocketLink, SocketLinkStats
+from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm
+from repro.runtime.transport import TransportConfig
+from repro.scenarios.spec import ScenarioSpec
+
+
+class ClusterControl(Protocol):
+    """The shard's handle on the coordinator (the worker implements it)."""
+
+    async def exchange_lateness(self, round_index: int, worst: float) -> float:
+        """Report this shard's lateness; return the cluster-wide worst."""
+        ...  # pragma: no cover - protocol
+
+
+def shard_of(ring_id: int, num_shards: int, id_space: int) -> int:
+    """The shard index owning ``ring_id`` (contiguous ring ranges)."""
+    return min(num_shards - 1, ring_id * num_shards // id_space)
+
+
+class ShardSwarm(LiveSwarm):
+    """A live swarm hosting one ring-range of a multi-process cluster.
+
+    Args:
+        spec: the full scenario (identical on every shard).
+        shard_index: this worker's shard number in ``[0, num_shards)``.
+        num_shards: total worker processes in the cluster.
+        rounds / time_scale / transport: as for :class:`LiveSwarm`
+            (cluster swarms always run on the wall clock — sockets are
+            real I/O, which the virtual clock cannot jump over).
+        link_config: TCP link knobs (reconnect budget, queue bound).
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        shard_index: int,
+        num_shards: int,
+        rounds: Optional[int] = None,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        transport: Optional[TransportConfig] = None,
+        link_config: Optional[LinkConfig] = None,
+    ) -> None:
+        if not (0 <= shard_index < num_shards):
+            raise ValueError(f"shard_index {shard_index} outside [0, {num_shards})")
+        super().__init__(
+            spec, rounds=rounds, time_scale=time_scale, transport=transport, clock="wall"
+        )
+        self.shard_index = shard_index
+        self.num_shards = num_shards
+        self.link_config = link_config if link_config is not None else LinkConfig()
+        #: Socket links keyed by remote shard index (wired by the worker).
+        self.links: Dict[int, SocketLink] = {}
+        #: The coordinator handle for the lateness exchange (worker-set).
+        self.control: Optional[ClusterControl] = None
+        #: Shards declared lost after their link stayed down past budget.
+        self.lost_shards: set = set()
+        #: Frames that arrived for a peer this shard does not host.
+        self.misrouted_frames = 0
+        #: Worst cluster-wide period lateness seen (observability).
+        self.worst_lateness_s = 0.0
+
+    # ------------------------------------------------------------------ sharding
+    def shard_of(self, ring_id: int) -> int:
+        """The shard hosting ``ring_id`` (same function on every shard)."""
+        return shard_of(ring_id, self.num_shards, self.id_space)
+
+    def hosts(self, ring_id: int) -> bool:
+        return self.shard_of(ring_id) == self.shard_index
+
+    def shard_ring_ids(self, shard: int) -> List[int]:
+        """Every known ring id owned by ``shard`` (alive or not)."""
+        return [rid for rid in self.manager.nodes if self.shard_of(rid) == shard]
+
+    # ----------------------------------------------------------------- transport
+    def link_for(self, dst: int) -> Link:
+        owner = self.shard_of(dst)
+        if owner == self.shard_index:
+            return self.loopback
+        return self.links[owner]
+
+    def receive_routed(self, src: int, dst: int, payload: bytes, data: bool) -> None:
+        """A peer frame arrived over a socket link: deliver it locally.
+
+        The loopback link is the single local tail of every delivery —
+        loss injection (data frames), model latency and the bounded-inbox
+        credit refunds apply to a routed frame exactly as to a local one.
+        The originating shard already counted the send.
+        """
+        if not self.hosts(dst):
+            self.misrouted_frames += 1
+            self.messages_dropped += 1
+            return
+        self.loopback.send(src, dst, payload, data)
+
+    def note_undeliverable(self, src: int, dst: int, data: bool) -> None:
+        """A socket link dropped an outbound frame (dead shard or shed).
+
+        The frame dies unseen by any receiver, so a data frame's credit
+        is refunded by its own sender — otherwise the window towards the
+        unreachable peer would leak a credit per attempt.
+        """
+        self.messages_dropped += 1
+        if data:
+            peer = self.peers.get(src)
+            if peer is not None and not peer.stopped:
+                peer.refund_data_credit(dst)
+
+    # ----------------------------------------------------------- link lifecycle
+    def on_link_interrupted(self, shard: int) -> None:
+        """The stream to ``shard`` broke: bring every in-flight credit home.
+
+        Mirrors the peer-departure rule — credits spent on frames the
+        dead connection swallowed can never be granted back, so every
+        hosted peer's send window towards every peer of that shard is
+        reset to a full window *now*, while the link attempts recovery.
+        Counted per reset in the transport stats (``link_resets``).
+        """
+        remote_ids = self.shard_ring_ids(shard)
+        for peer in self.peers.values():
+            for rid in remote_ids:
+                peer.send_windows.reset(rid)
+
+    def on_link_restored(self, shard: int) -> None:
+        """The stream healed: nothing to repair — windows were reset on
+        the way down, so both sides meet fresh flow-control state."""
+
+    def on_link_lost(self, shard: int) -> None:
+        """The link stayed down past its recovery budget: presume the
+        shard (and every peer it hosted) failed.
+
+        Its peers are marked departed in the local overlay view, so the
+        liveness oracle, DHT routing and the map quorum all route around
+        them — the cluster analogue of a massive correlated failure.  The
+        replicated churn driver keeps drawing for them (the streams must
+        stay aligned on the surviving shards), but
+        :meth:`~repro.runtime.swarm.LiveSwarm._retire_peer` finds them
+        already dead and skips.
+        """
+        if shard in self.lost_shards:
+            return
+        self.lost_shards.add(shard)
+        for rid in self.shard_ring_ids(shard):
+            node = self.manager.nodes.get(rid)
+            if node is not None and node.alive:
+                node.mark_departed()
+        self.on_link_interrupted(shard)
+        # Survivors re-partner: drop the dead shard's peers from every
+        # neighbour table and refill the slots from the alive population,
+        # exactly as a churn boundary would after a massive failure.
+        self.manager.repair_neighbors()
+
+    # ------------------------------------------------------------------ clocking
+    async def _boundary_sync(self, round_index: int, own_lateness: float) -> None:
+        worst = max(self._worst_lateness, own_lateness)
+        if self.control is not None:
+            worst = max(worst, await self.control.exchange_lateness(round_index, worst))
+            self._worst_lateness = worst
+        if worst > self.worst_lateness_s:
+            self.worst_lateness_s = worst
+        self._maybe_dilate(own_lateness)
+
+    # ------------------------------------------------------------------- summary
+    def socket_summary(self) -> Dict[str, int]:
+        """Summed socket-link counters of this shard (for the run report)."""
+        totals = SocketLinkStats()
+        for link in self.links.values():
+            for name in vars(totals):
+                setattr(totals, name, getattr(totals, name) + getattr(link.stats, name))
+        summary = dict(vars(totals))
+        summary["links_lost"] = len(self.lost_shards)
+        summary["misrouted_frames"] = self.misrouted_frames
+        return summary
+
+    def close_links(self) -> None:
+        """Final teardown of every socket link (shutdown barrier)."""
+        for link in self.links.values():
+            link.close()
+
+    # ------------------------------------------------------------- partitioning
+    def hosted_ring_ids(self) -> List[int]:
+        """The ring ids this shard hosts right now (diagnostics)."""
+        return sorted(self.peers)
+
+    def ring_range(self) -> Tuple[int, int]:
+        """The half-open ``[lo, hi)`` ring-id range this shard owns."""
+        space = self.id_space
+        lo = (self.shard_index * space + self.num_shards - 1) // self.num_shards
+        # First id NOT owned: smallest id mapping to the next shard.
+        hi = ((self.shard_index + 1) * space + self.num_shards - 1) // self.num_shards
+        return lo, hi if self.shard_index < self.num_shards - 1 else space

@@ -28,6 +28,10 @@ from repro.scenarios.spec import ScenarioSpec, load_scenarios
 #: included — must agree between the engines within three points.
 PARITY_TOLERANCE = 0.03
 
+#: Live engines the harness can put on the runtime side of a comparison:
+#: the single-process swarm or the sharded multi-process cluster.
+PARITY_BACKENDS = ("runtime", "cluster")
+
 
 @dataclass(frozen=True)
 class ParityReport:
@@ -42,6 +46,8 @@ class ParityReport:
     runtime_prefetch_overhead: float
     sim_result: SimulationResult
     runtime_result: RuntimeResult
+    #: The live engine on the runtime side (``"runtime"`` or ``"cluster"``).
+    backend: str = "runtime"
 
     @property
     def continuity_delta(self) -> float:
@@ -51,10 +57,12 @@ class ParityReport:
     def formatted(self) -> str:
         """Human-readable two-line comparison."""
         return (
-            f"parity {self.scenario} n={self.num_nodes} rounds={self.rounds}:\n"
+            f"parity {self.scenario} n={self.num_nodes} rounds={self.rounds} "
+            f"[{self.backend}]:\n"
             f"  simulator: stable continuity {self.sim_stable_continuity:.4f}, "
             f"prefetch overhead {self.sim_prefetch_overhead:.4f}\n"
-            f"  runtime:   stable continuity {self.runtime_stable_continuity:.4f}, "
+            f"  {self.backend:<9}: stable continuity "
+            f"{self.runtime_stable_continuity:.4f}, "
             f"prefetch overhead {self.runtime_prefetch_overhead:.4f}\n"
             f"  |Δ continuity| = {self.continuity_delta:.4f}"
         )
@@ -67,8 +75,10 @@ def run_parity(
     seed: int = 0,
     time_scale: float = DEFAULT_TIME_SCALE,
     clock: str = "wall",
+    backend: str = "runtime",
+    shards: int = 2,
 ) -> ParityReport:
-    """Run one scenario through the simulator and the live runtime.
+    """Run one scenario through the simulator and a live engine.
 
     Args:
         scenario: built-in scenario name, spec file path, or spec object.
@@ -78,16 +88,29 @@ def run_parity(
         time_scale: wall seconds per simulated second for the swarm side.
         clock: the swarm's clock — ``"wall"`` for real time, ``"virtual"``
             for the deterministic virtual clock (fast, machine-independent;
-            what the matrix acceptance runs on).
+            what the matrix acceptance runs on).  The cluster backend
+            always runs on the wall clock (sockets are real I/O).
+        backend: the live side — ``"runtime"`` (single-process swarm) or
+            ``"cluster"`` (``shards`` worker processes over TCP, the
+            small-scale cluster-vs-sim parity check).
+        shards: worker processes for the cluster backend.
     """
+    if backend not in PARITY_BACKENDS:
+        raise ValueError(f"backend must be one of {PARITY_BACKENDS}, got {backend!r}")
     (spec,) = load_scenarios([scenario]) if not isinstance(scenario, ScenarioSpec) else (scenario,)
     spec = spec.scaled(num_nodes=num_nodes, rounds=rounds, seed=seed)
     sim_result = spec.run()
-    runtime_result = LiveSwarm(spec, time_scale=time_scale, clock=clock).run()
+    if backend == "cluster":
+        from repro.runtime.cluster import run_cluster
+
+        runtime_result = run_cluster(spec, shards=shards, time_scale=time_scale)
+    else:
+        runtime_result = LiveSwarm(spec, time_scale=time_scale, clock=clock).run()
     return ParityReport(
         scenario=spec.name,
         num_nodes=num_nodes,
         rounds=rounds,
+        backend=backend,
         sim_stable_continuity=float(sim_result.stable_continuity()),
         runtime_stable_continuity=float(runtime_result.stable_continuity()),
         sim_prefetch_overhead=float(sim_result.prefetch_overhead()),
@@ -138,14 +161,19 @@ def run_parity_matrix(
     seed: int = 0,
     time_scale: float = DEFAULT_TIME_SCALE,
     clock: str = "virtual",
+    backend: str = "runtime",
+    shards: int = 2,
 ) -> ParityMatrix:
-    """Run the sim-vs-runtime parity harness across several scenarios.
+    """Run the sim-vs-live parity harness across several scenarios.
 
     ``scenarios=None`` covers every built-in scenario — the full matrix
     the nightly CI job runs at |Δ| ≤ :data:`PARITY_TOLERANCE`.  Defaults
     to the **virtual clock**, which makes the matrix deterministic and
     wall-wait-free (runtime cost is CPU only), so the acceptance bar does
-    not depend on how loaded the machine is.
+    not depend on how loaded the machine is.  ``backend="cluster"`` puts
+    sharded multi-process swarms on the live side instead (wall clock,
+    real sockets — slower and noisier, which is exactly what the optional
+    cluster axis of ``runtime --parity-matrix`` is for).
     """
     if scenarios is None:
         from repro.scenarios.library import builtin_names
@@ -159,6 +187,8 @@ def run_parity_matrix(
             seed=seed,
             time_scale=time_scale,
             clock=clock,
+            backend=backend,
+            shards=shards,
         )
         for scenario in scenarios
     )

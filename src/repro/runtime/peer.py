@@ -256,6 +256,20 @@ class LivePeer:
         """
         self._consume_data_credit(src)
 
+    def refund_data_credit(self, dst: int) -> None:
+        """A data frame towards ``dst`` died before any receiver saw it.
+
+        The cluster transport calls this when a socket link sheds or
+        drops an outbound segment (full queue, dead shard): the receiver
+        that would normally count the frame as consumed and grant the
+        credit back no longer exists for it, so the sender refunds
+        itself.  Applied as a self-granted credit, which also releases
+        the next pending segment (that one may meet the same fate — the
+        chain terminates because every step permanently drains the
+        bounded pending queue).
+        """
+        self._on_credit(wire.CreditGrant(sender=dst, credits=1))
+
     def absorb_shed_control(self, frame: bytes) -> None:
         """A control frame bound for this peer was shed at the inbox.
 

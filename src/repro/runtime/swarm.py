@@ -16,7 +16,11 @@
   :class:`~repro.net.latency.LatencyModel` injected per link (scaled by
   ``time_scale``); segment data is credit-gated per link, a scenario
   ``loss_rate`` drops frames at the transport, and every queue has a
-  configurable watermark — no load can grow memory without bound;
+  configurable watermark — no load can grow memory without bound.  The
+  delivery path itself is a :class:`~repro.runtime.cluster.links.
+  LoopbackLink` — the same ``Link`` protocol the cluster runtime
+  implements over TCP sockets, so the swarm's peers cannot tell an
+  in-process partner from a remote one (:mod:`repro.runtime.cluster`);
 * **live churn** — the scenario's churn schedule runs against the real
   swarm: departing peers are cancelled mid-flight (gracefully leaving ones
   ship their VoD backup over the wire first), joining peers are admitted
@@ -42,13 +46,14 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.net.message import MessageKind, MessageLedger
 from repro.runtime.clock import run_on_virtual_clock
+from repro.runtime.cluster.links import Link, LoopbackLink
 from repro.runtime.peer import LivePeer
 from repro.runtime.transport import TransportConfig, TransportSummary
 from repro.scenarios.spec import ScenarioSpec
@@ -97,6 +102,13 @@ class RuntimeResult:
     clock_dilation_s: float = 0.0
     #: Number of period boundaries at which the schedule was dilated.
     clock_dilations: int = 0
+    #: Worker processes that hosted the swarm (1 = the single-process
+    #: runtime; >1 = the cluster runtime, see ``docs/cluster.md``).
+    shards: int = 1
+    #: Cluster-run facts (socket traffic, per-shard rows, lost shards);
+    #: ``None`` for single-process runs.  Plain dict so the result stays
+    #: picklable across the campaign's worker processes.
+    cluster: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ metrics
     def continuity_series(self) -> List[float]:
@@ -185,7 +197,15 @@ class LiveSwarm:
         self.messages_dropped = 0
         self.peers_joined = 0
         self.peers_left = 0
-        self._loss_rng: Optional[np.random.Generator] = None
+        #: Random stream deciding data-frame loss (``None`` = lossless).
+        self.loss_rng: Optional[np.random.Generator] = None
+        #: The in-process delivery path (cluster shards add socket links
+        #: beside it — see :meth:`link_for`).
+        self.loopback = LoopbackLink(self)
+        #: Wall/loop time the schedule is anchored at; ``None`` anchors at
+        #: :meth:`run_async` entry (the cluster coordinator instead hands
+        #: every shard the same agreed start instant).
+        self.start_at: Optional[float] = None
         self._start_wall = 0.0
         self._built = False
         #: Coherent overload dilation: wall seconds added to every future
@@ -208,11 +228,20 @@ class LiveSwarm:
             return self
         self.system.build()
         if self.spec.loss_rate > 0.0:
-            self._loss_rng = self.system.streams.get("runtime-loss")
+            self.loss_rng = self.system.streams.get("runtime-loss")
         for node_id, node in self.manager.nodes.items():
-            self.peers[node_id] = LivePeer(node, self, first_tick=0)
+            if self.hosts(node_id):
+                self.peers[node_id] = LivePeer(node, self, first_tick=0)
         self._built = True
         return self
+
+    def hosts(self, ring_id: int) -> bool:
+        """Whether this process runs the live peer for ``ring_id``.
+
+        A single-process swarm hosts everyone; a cluster shard hosts its
+        ring-id range and routes the rest over socket links.
+        """
+        return True
 
     # ============================================================ peer services
     @property
@@ -314,7 +343,7 @@ class LiveSwarm:
 
     # ---------------------------------------------------------------- transport
     def deliver(self, src: int, dst: int, frame: bytes, data: bool = False) -> None:
-        """Ship one encoded frame from ``src`` to ``dst`` with link latency.
+        """Ship one encoded frame from ``src`` to ``dst`` over its link.
 
         Frames to departed or unknown peers vanish (the network does not
         know who died); a configured ``loss_rate`` drops *data* frames at
@@ -324,52 +353,17 @@ class LiveSwarm:
         the two engines stay parity-comparable on lossy scenarios.
         ``data`` selects the receiver's inbox lane: segment data queues
         behind the bounded data lane, everything else rides the control
-        priority lane (see :mod:`repro.runtime.transport`).
+        priority lane (see :mod:`repro.runtime.transport`).  Delay/loss
+        injection lives in :class:`~repro.runtime.cluster.links.
+        LoopbackLink`; a cluster shard substitutes a socket link for
+        destinations hosted elsewhere.
         """
         self.messages_sent += 1
-        if (
-            data
-            and self._loss_rng is not None
-            and self._loss_rng.random() < self.spec.loss_rate
-        ):
-            self.messages_dropped += 1
-            self._refund_shed(src, dst)
-            return
-        peer = self.peers.get(dst)
-        if peer is None or peer.stopped or not peer.node.alive:
-            self.messages_dropped += 1
-            return
-        delay = self.manager.latency_ms(src, dst) / 1000.0 * self.time_scale
-        loop = asyncio.get_running_loop()
-        loop.call_later(delay, self._deliver_now, src, dst, frame, data)
+        self.link_for(dst).send(src, dst, frame, data)
 
-    def _deliver_now(self, src: int, dst: int, frame: bytes, data: bool) -> None:
-        peer = self.peers.get(dst)
-        if peer is None or peer.stopped or not peer.node.alive:
-            self.messages_dropped += 1
-            return
-        if not peer.inbox.put(src, frame, control=not data):
-            # The bounded lane shed the frame.  Flow-control state must
-            # survive the shed either way: a data frame's spent credit
-            # comes home (the receiver counts it as consumed), and a shed
-            # credit grant is applied as if delivered — otherwise the
-            # link's window would wedge permanently short.
-            self.messages_dropped += 1
-            if data:
-                peer.note_shed_data(src)
-            else:
-                peer.absorb_shed_control(frame)
-
-    def _refund_shed(self, src: int, dst: int) -> None:
-        """Return the credit of a data frame the *network* dropped.
-
-        Loss happens before the receiver exists for this frame, so the
-        receiving peer (if still alive) refunds on the network's behalf —
-        the loopback stand-in for a transport-level retransmit/ack.
-        """
-        peer = self.peers.get(dst)
-        if peer is not None and not peer.stopped and peer.node.alive:
-            peer.note_shed_data(src)
+    def link_for(self, dst: int) -> Link:
+        """The link that carries frames towards ``dst`` (loopback here)."""
+        return self.loopback
 
     # ======================================================================== run
     def run(self) -> RuntimeResult:
@@ -388,7 +382,7 @@ class LiveSwarm:
         self.build()
         loop = asyncio.get_running_loop()
         wall_start = time.perf_counter()
-        self._start_wall = loop.time()
+        self._start_wall = loop.time() if self.start_at is None else self.start_at
         for peer in self.peers.values():
             peer.start()
         try:
@@ -415,9 +409,11 @@ class LiveSwarm:
                 await asyncio.sleep(delay)
             # A busy loop wakes the controller late; fold the worst
             # observed lateness (peers' and our own) into a coherent
-            # schedule dilation before driving this boundary's churn.
-            self._maybe_dilate(
-                max(0.0, asyncio.get_running_loop().time() - deadline)
+            # schedule dilation before driving this boundary's churn.  A
+            # cluster shard first exchanges its lateness with the other
+            # shards so the dilation stays coherent *across* processes.
+            await self._boundary_sync(
+                round_index, max(0.0, asyncio.get_running_loop().time() - deadline)
             )
             if churn.is_static or round_index == self.rounds - 1:
                 continue
@@ -456,18 +452,34 @@ class LiveSwarm:
             await asyncio.sleep(step)
             waited += step
 
+    async def _boundary_sync(self, round_index: int, own_lateness: float) -> None:
+        """Fold this boundary's lateness into the schedule dilation.
+
+        The single-process swarm dilates on its own observations; a
+        cluster shard overrides this to exchange lateness with the other
+        shards through the coordinator first, so every shard applies the
+        same (maximal) dilation at the same boundary and the overlay stays
+        phase-aligned across processes.
+        """
+        self._maybe_dilate(own_lateness)
+
     async def _retire_peer(self, node_id: int, rng: np.random.Generator) -> None:
-        peer = self.peers.get(node_id)
-        if peer is None or not peer.node.alive:
+        node = self.manager.nodes.get(node_id)
+        if node is None or not node.alive:
             return
+        # The graceful/abrupt draw happens on every shard (the churn
+        # streams must stay aligned across the cluster's replicated churn
+        # drivers) even though only the hosting shard acts on the peer.
         graceful = rng.random() >= self.config.abrupt_leave_fraction
-        if graceful:
+        peer = self.peers.get(node_id)
+        if peer is not None and graceful:
             peer.send_handover()
         # The wire handover above replaces the manager's in-memory one.
         self.manager.remove_node(node_id, rng, graceful=graceful, handover=False)
-        await peer.stop()
-        self.retired_peers.append(self.peers.pop(node_id))
-        self.peers_left += 1
+        if peer is not None:
+            await peer.stop()
+            self.retired_peers.append(self.peers.pop(node_id))
+            self.peers_left += 1
         # Dead links keep no flow-control state: credits in flight to the
         # departed peer are unrecoverable, and a joiner admitted later
         # under a recycled ring id must start with a full window.
@@ -476,6 +488,8 @@ class LiveSwarm:
 
     def _admit_peer(self, rng: np.random.Generator, first_tick: int) -> None:
         ring_id = self.manager.admit_node(rng, now=self.sim_now())
+        if not self.hosts(ring_id):
+            return
         peer = LivePeer(self.manager.nodes[ring_id], self, first_tick=first_tick)
         self.peers[ring_id] = peer
         peer.start()
@@ -487,10 +501,15 @@ class LiveSwarm:
         await asyncio.gather(*(peer.stop() for peer in self.peers.values()))
 
     # ================================================================== collect
-    def _collect(self, wall_time: float) -> RuntimeResult:
+    def playback_samples(self) -> List[Tuple[int, int, int]]:
+        """Per-tick ``(tick, playing, total)`` over every hosted peer.
+
+        Untrimmed (every tick of the run appears): the cluster coordinator
+        sums these across shards before applying the trailing-empty trim,
+        so a shard that finished early cannot truncate the merged series.
+        """
         everyone = list(self.peers.values()) + self.retired_peers
-        tracker = ContinuityTracker(round_duration=self.config.scheduling_period)
-        samples: List[tuple] = []
+        samples: List[Tuple[int, int, int]] = []
         for tick in range(self.rounds):
             playing = total = 0
             for peer in everyone:
@@ -503,6 +522,12 @@ class LiveSwarm:
                 if sample.started and sample.continuous:
                     playing += 1
             samples.append((tick, playing, total))
+        return samples
+
+    def _collect(self, wall_time: float) -> RuntimeResult:
+        everyone = list(self.peers.values()) + self.retired_peers
+        tracker = ContinuityTracker(round_duration=self.config.scheduling_period)
+        samples = self.playback_samples()
         # Trailing ticks nobody sampled (a timed-out shutdown cut them off)
         # are dropped rather than recorded as vacuous perfect rounds.
         while samples and samples[-1][2] == 0 and len(samples) > 1:

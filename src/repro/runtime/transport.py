@@ -95,6 +95,9 @@ class TransportStats:
     pending_high_watermark: int = 0
     #: CreditGrant frames this peer issued to its senders.
     credits_granted: int = 0
+    #: Credit-gated links forcibly reset (peer departures and cluster
+    #: socket drops) — each reset refunds the link's in-flight credits.
+    link_resets: int = 0
 
 
 @dataclass(frozen=True)
@@ -112,6 +115,7 @@ class TransportSummary:
     pending_shed: int = 0
     pending_high_watermark: int = 0
     credits_granted: int = 0
+    link_resets: int = 0
 
     #: Fields aggregated as maxima rather than sums (peak queue depths).
     _MAX_FIELDS = frozenset({"inbox_high_watermark", "pending_high_watermark"})
@@ -286,12 +290,16 @@ class SendWindowSet:
     def reset(self, dst: int) -> None:
         """Forget the link to ``dst`` entirely (fresh window on next use).
 
-        Called when ``dst`` leaves the swarm: credits spent on frames the
-        network dropped at the dead peer can never be granted back, and a
-        joiner later admitted under a recycled ring id must meet a full
-        window, not the corpse's exhausted one.
+        Called when ``dst`` leaves the swarm — or, in the cluster runtime,
+        when the socket link to ``dst``'s shard drops: credits spent on
+        frames the network dropped at the dead peer (or lost with the
+        connection) can never be granted back, and a joiner later admitted
+        under a recycled ring id must meet a full window, not the corpse's
+        exhausted one.  Counted in ``stats.link_resets`` when flow-control
+        state actually existed.
         """
-        self._links.pop(dst, None)
+        if self._links.pop(dst, None) is not None:
+            self.stats.link_resets += 1
 
     def pending_count(self) -> int:
         """Total frames queued across links (for tests/diagnostics)."""

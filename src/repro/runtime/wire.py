@@ -74,6 +74,8 @@ class WireKind(IntEnum):
     HANDOVER = 8
     SEGMENT_NACK = 9
     CREDIT = 10
+    SHARD_HELLO = 11
+    ROUTE = 12
 
 
 # ===================================================================== messages
@@ -209,6 +211,41 @@ class CreditGrant:
     credits: int
 
 
+@dataclass(frozen=True)
+class ShardHello:
+    """Shard-to-shard handshake, the first frame on a cluster TCP stream.
+
+    Identifies the dialing (and, in the reply, the accepting) shard and
+    carries enough shared-construction facts — shard count, ring size and
+    the coordinator's per-run ``token`` — for the acceptor to reject a
+    stream from a different run or a differently built cluster before any
+    peer traffic flows (see :mod:`repro.runtime.cluster`).
+    """
+
+    shard_index: int
+    num_shards: int
+    token: int
+    ring_size: int
+
+
+@dataclass(frozen=True)
+class RoutedFrame:
+    """One peer-to-peer frame in transit between shards.
+
+    ``payload`` is the complete encoded inner frame (length prefix
+    included), opaque to the carrying link: the receiving shard drops it
+    straight into the destination peer's inbox, so a peer never knows
+    whether its partner's frame crossed a socket or stayed in-process.
+    ``data`` tags the inbox lane exactly like the loopback transport's
+    ``data`` flag (segment data vs control priority).
+    """
+
+    src: int
+    dst: int
+    payload: bytes
+    data: bool = False
+
+
 WireMessage = Union[
     BufferMapMsg,
     SegmentRequest,
@@ -220,6 +257,8 @@ WireMessage = Union[
     Pong,
     Handover,
     CreditGrant,
+    ShardHello,
+    RoutedFrame,
 ]
 
 
@@ -244,6 +283,8 @@ _RESP_HEAD = struct.Struct(">IIIIBfH")
 _PINGPONG = struct.Struct(">II")
 _HANDOVER_HEAD = struct.Struct(">IIH")
 _CREDIT = struct.Struct(">IH")
+_SHARD_HELLO = struct.Struct(">HHII")
+_ROUTE_HEAD = struct.Struct(">IIB")
 
 
 def _encode_path(path: Tuple[int, ...]) -> bytes:
@@ -353,6 +394,25 @@ def encode(msg: WireMessage) -> bytes:
         payload = bytes([WireKind.CREDIT]) + _CREDIT.pack(
             _check_u32(msg.sender, "sender"),
             _check_u16(msg.credits, "credits"),
+        )
+    elif isinstance(msg, ShardHello):
+        if msg.num_shards < 1:
+            raise WireError(f"num_shards must be >= 1, got {msg.num_shards}")
+        payload = bytes([WireKind.SHARD_HELLO]) + _SHARD_HELLO.pack(
+            _check_u16(msg.shard_index, "shard_index"),
+            _check_u16(msg.num_shards, "num_shards"),
+            _check_u32(msg.token, "token"),
+            _check_u32(msg.ring_size, "ring_size"),
+        )
+    elif isinstance(msg, RoutedFrame):
+        payload = (
+            bytes([WireKind.ROUTE])
+            + _ROUTE_HEAD.pack(
+                _check_u32(msg.src, "src"),
+                _check_u32(msg.dst, "dst"),
+                1 if msg.data else 0,
+            )
+            + msg.payload
         )
     else:
         raise WireError(f"cannot encode {type(msg).__name__}")
@@ -464,6 +524,24 @@ def _decode_body(kind: WireKind, body: bytes) -> WireMessage:
         if credits < 1:
             raise WireError("credit grant must carry >= 1 credit")
         return CreditGrant(sender=sender, credits=credits)
+    if kind is WireKind.SHARD_HELLO:
+        if len(body) != _SHARD_HELLO.size:
+            raise WireError("shard-hello body size mismatch")
+        shard_index, num_shards, token, ring_size = _SHARD_HELLO.unpack(body)
+        if num_shards < 1:
+            raise WireError("num_shards must be >= 1")
+        return ShardHello(
+            shard_index=shard_index, num_shards=num_shards, token=token,
+            ring_size=ring_size,
+        )
+    if kind is WireKind.ROUTE:
+        if len(body) < _ROUTE_HEAD.size:
+            raise WireError("routed-frame body too short")
+        src, dst, flags = _ROUTE_HEAD.unpack_from(body, 0)
+        return RoutedFrame(
+            src=src, dst=dst, payload=body[_ROUTE_HEAD.size :],
+            data=bool(flags & 1),
+        )
     raise WireError(f"unhandled wire kind {kind!r}")  # pragma: no cover
 
 
@@ -522,7 +600,10 @@ def ledger_entry(msg: WireMessage) -> Optional[Tuple[MessageKind, float]]:
     Returns ``None`` for messages the paper's overhead metrics do not
     count (pull requests and transport-level credit grants are treated as
     free control signalling — the simulator has no analogue of either and
-    the paper's Section 5.4 accounting does not define them).
+    the paper's Section 5.4 accounting does not define them).  Cluster
+    transport frames (shard handshakes and routed-frame envelopes) are
+    likewise uncharged: the *inner* frame of a routed envelope is charged
+    once, at its originating peer, exactly as on the loopback transport.
     """
     if isinstance(msg, BufferMapMsg):
         return (MessageKind.BUFFER_MAP, float(buffer_map_bits(msg.capacity)))
@@ -533,6 +614,6 @@ def ledger_entry(msg: WireMessage) -> Optional[Tuple[MessageKind, float]]:
         return (MessageKind.DHT_ROUTING, float(ROUTING_MESSAGE_BITS))
     if isinstance(msg, (Ping, Pong, Handover)):
         return (MessageKind.MEMBERSHIP, float(PING_MESSAGE_BITS))
-    if isinstance(msg, (SegmentRequest, SegmentNack, CreditGrant)):
+    if isinstance(msg, (SegmentRequest, SegmentNack, CreditGrant, ShardHello, RoutedFrame)):
         return None
     raise WireError(f"no ledger rule for {type(msg).__name__}")

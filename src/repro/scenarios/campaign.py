@@ -39,8 +39,11 @@ from repro.scenarios.spec import ScenarioSpec, load_scenarios
 from repro.sim.rng import derive_seed
 
 #: The engines a campaign can fan its grid over: the lock-step round
-#: simulator, or live asyncio swarms on the deterministic virtual clock.
-BACKENDS = ("sim", "runtime")
+#: simulator, live asyncio swarms on the deterministic virtual clock, or
+#: sharded multi-process cluster swarms over real TCP sockets (wall
+#: clock — throughput and scale, not bit-determinism; see
+#: ``docs/cluster.md``).
+BACKENDS = ("sim", "runtime", "cluster")
 
 
 def cell_seed_for(seed: int, scenario: str, num_nodes: int) -> int:
@@ -86,6 +89,15 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
 
         time_scale = payload.get("time_scale") or DEFAULT_TIME_SCALE
         result = LiveSwarm(spec, time_scale=time_scale, clock="virtual").run()
+        joined, left = float(result.peers_joined), float(result.peers_left)
+    elif backend == "cluster":
+        from repro.runtime.cluster import run_cluster
+
+        result = run_cluster(
+            spec,
+            shards=payload.get("shards") or 2,
+            time_scale=payload.get("time_scale"),
+        )
         joined, left = float(result.peers_joined), float(result.peers_left)
     else:
         result = spec.run()
@@ -138,14 +150,18 @@ class CampaignSpec:
         node_counts: overlay sizes; ``None`` uses each scenario's own.
         systems: protocol names; ``None`` uses each scenario's own.
         rounds: round-count override; ``None`` uses each scenario's own.
-        backend: the engine every cell runs on — ``"sim"`` (default) or
-            ``"runtime"`` (live virtual-clock swarms); per-cell seeds are
-            backend-independent so sim and runtime sweeps of the same grid
-            pair on identical overlays.
-        time_scale: runtime-backend period compression; ``None`` uses the
-            runtime default (irrelevant to the sim backend; on the virtual
-            clock it shifts relative link-latency granularity only, not
-            wall time).
+        backend: the engine every cell runs on — ``"sim"`` (default),
+            ``"runtime"`` (live virtual-clock swarms) or ``"cluster"``
+            (sharded multi-process swarms over TCP, wall clock); per-cell
+            seeds are backend-independent so sweeps of the same grid pair
+            on identical overlays.  Cluster cells carry wall-clock noise
+            in their metrics — they measure scale, not determinism.
+        time_scale: runtime/cluster-backend period compression; ``None``
+            uses each backend's default (irrelevant to the sim backend;
+            on the virtual clock it shifts relative link-latency
+            granularity only, not wall time).
+        shards: worker processes per cluster-backend cell (ignored by
+            the other backends).
     """
 
     scenarios: Tuple[ScenarioSpec, ...]
@@ -155,6 +171,7 @@ class CampaignSpec:
     rounds: Optional[int] = None
     backend: str = "sim"
     time_scale: Optional[float] = None
+    shards: int = 2
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -167,6 +184,8 @@ class CampaignSpec:
             )
         if self.time_scale is not None and self.time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         names = [scenario.name for scenario in self.scenarios]
         duplicates = sorted({name for name in names if names.count(name) > 1})
         if duplicates:
@@ -208,6 +227,7 @@ class CampaignSpec:
                                 ),
                                 "backend": self.backend,
                                 "time_scale": self.time_scale,
+                                "shards": self.shards,
                             }
                         )
         return payloads
@@ -246,8 +266,12 @@ class CampaignRunner:
         payloads = self.campaign.cell_payloads()
         store = store if store is not None else ResultsStore()
         completed = 0
+        # Cluster cells spawn their own shard processes; pool workers are
+        # daemonic and cannot have children, so a cluster-backend grid
+        # always runs its cells serially (each cell is already parallel).
+        use_pool = self.workers > 1 and len(payloads) > 1 and self.campaign.backend != "cluster"
         try:
-            if self.workers > 1 and len(payloads) > 1:
+            if use_pool:
                 processes = min(self.workers, len(payloads))
                 with multiprocessing.get_context().Pool(processes=processes) as pool:
                     for record in pool.imap(run_cell, payloads):
@@ -284,13 +308,16 @@ def run_campaign(
     results_path: Optional[Union[str, Path]] = None,
     backend: str = "sim",
     time_scale: Optional[float] = None,
+    shards: int = 2,
 ) -> ResultsStore:
     """Convenience wrapper: resolve scenarios, build the grid, run it.
 
     ``scenarios`` may mix :class:`ScenarioSpec` objects, spec file paths
     and built-in scenario names.  ``backend="runtime"`` fans the same grid
     over live virtual-clock swarms instead of the simulator (identical
-    per-cell seeding, JSONL schema and summaries).
+    per-cell seeding, JSONL schema and summaries); ``backend="cluster"``
+    runs each cell as a ``shards``-process swarm over real TCP (cells run
+    serially — each one already owns several processes).
     """
     campaign = CampaignSpec(
         scenarios=load_scenarios(scenarios),
@@ -300,6 +327,7 @@ def run_campaign(
         rounds=rounds,
         backend=backend,
         time_scale=time_scale,
+        shards=shards,
     )
     store = ResultsStore(path=results_path)
     return CampaignRunner(campaign, workers=workers).run(store)

@@ -44,9 +44,11 @@ class CellResult:
         cell_seed: the derived root seed the simulation actually used.
         rounds: scheduling periods simulated.
         backend: which engine ran the cell — ``"sim"`` (the lock-step
-            round simulator) or ``"runtime"`` (a live swarm on the
-            deterministic virtual clock).  Both report the identical
-            metric schema (:data:`METRIC_NAMES`).
+            round simulator), ``"runtime"`` (a live swarm on the
+            deterministic virtual clock) or ``"cluster"`` (a sharded
+            multi-process swarm over TCP; wall clock, so its metrics
+            carry scheduling noise).  All report the identical metric
+            schema (:data:`METRIC_NAMES`).
         metrics: named scalar results (see :data:`METRIC_NAMES`).
         wall_time_s: wall-clock seconds the cell took (not aggregated,
             and the *only* machine-dependent field of a record — see

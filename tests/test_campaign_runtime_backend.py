@@ -43,7 +43,11 @@ def stripped(record):
 
 class TestBackendValidation:
     def test_known_backends(self):
-        assert BACKENDS == ("sim", "runtime")
+        assert BACKENDS == ("sim", "runtime", "cluster")
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            CampaignSpec(scenarios=(tiny_spec(),), backend="cluster", shards=0)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
@@ -216,3 +220,24 @@ class TestRuntimeBackendCli:
         )
         assert code == 0
         assert "campaign[sim]" in capsys.readouterr().out
+
+
+class TestClusterBackend:
+    """Cluster cells: multi-process swarms behind the same campaign schema."""
+
+    def test_cluster_cell_reports_the_standard_schema(self):
+        store = run_campaign(
+            [tiny_spec(num_nodes=24, rounds=6)],
+            seeds=[0],
+            backend="cluster",
+            shards=2,
+            # Pool workers are daemonic and cannot host shard processes;
+            # the runner must fall back to serial cells on its own.
+            workers=4,
+        )
+        assert store.is_complete
+        (cell,) = list(store)
+        assert cell.backend == "cluster"
+        assert set(cell.metrics) == set(METRIC_NAMES)
+        assert cell.metrics["stable_continuity"] > 0.0
+        assert cell.cell_seed == cell_seed_for(0, "static", 24)

@@ -55,6 +55,18 @@ def sample_messages():
         # -- flow-control plane
         wire.CreditGrant(sender=0, credits=1),
         wire.CreditGrant(sender=2**32 - 1, credits=2**16 - 1),
+        # -- cluster transport plane: handshake and routed envelopes
+        wire.ShardHello(shard_index=0, num_shards=1, token=0, ring_size=8192),
+        wire.ShardHello(
+            shard_index=2**16 - 1, num_shards=2**16 - 1,
+            token=2**32 - 1, ring_size=2**32 - 1,
+        ),
+        wire.RoutedFrame(src=0, dst=1, payload=b""),
+        wire.RoutedFrame(
+            src=2**32 - 1, dst=0,
+            payload=wire.encode(wire.SegmentData(sender=1, segment_id=2, size_bits=64)),
+            data=True,
+        ),
     ]
 
 
@@ -75,6 +87,8 @@ class TestRoundTrip:
             wire.WireKind.PONG: "Pong",
             wire.WireKind.HANDOVER: "Handover",
             wire.WireKind.CREDIT: "CreditGrant",
+            wire.WireKind.SHARD_HELLO: "ShardHello",
+            wire.WireKind.ROUTE: "RoutedFrame",
         }
         assert set(by_kind) == set(wire.WireKind), "update the map for new kinds"
         assert covered == set(by_kind.values())
@@ -271,3 +285,9 @@ class TestLedgerAccounting:
         assert wire.ledger_entry(wire.SegmentRequest(sender=1, segment_id=2)) is None
         assert wire.ledger_entry(wire.SegmentNack(sender=1, segment_id=2)) is None
         assert wire.ledger_entry(wire.CreditGrant(sender=1, credits=4)) is None
+        # Cluster transport frames are free too: the inner frame of a
+        # routed envelope is charged once, at its originating peer.
+        assert wire.ledger_entry(
+            wire.ShardHello(shard_index=0, num_shards=2, token=1, ring_size=8192)
+        ) is None
+        assert wire.ledger_entry(wire.RoutedFrame(src=1, dst=2, payload=b"x")) is None

@@ -75,6 +75,23 @@ wire_messages = st.one_of(
         segment_ids=st.lists(u32, max_size=128).map(tuple),
     ),
     st.builds(wire.CreditGrant, sender=u32, credits=st.integers(1, 2**16 - 1)),
+    st.builds(
+        wire.ShardHello,
+        shard_index=u16,
+        num_shards=st.integers(1, 2**16 - 1),
+        token=u32,
+        ring_size=u32,
+    ),
+    # The routed envelope's payload is opaque to the codec (the inner
+    # frame is validated by the destination peer's decoder), so any byte
+    # string must round-trip — including bytes that are not a valid frame.
+    st.builds(
+        wire.RoutedFrame,
+        src=u32,
+        dst=u32,
+        payload=st.binary(max_size=512),
+        data=flags,
+    ),
 )
 
 
