@@ -92,6 +92,7 @@ def test_bench_cluster(benchmark):
             "clock_dilation_s": round(result.clock_dilation_s, 4),
             "socket": (result.cluster or {}).get("socket", {}),
             "shards_lost": (result.cluster or {}).get("shards_lost", 0),
+            "bytes_on_wire": result.bytes_on_wire,
             "speedup": round(scaling[shards]["speedup"], 3),
             "efficiency": round(scaling[shards]["efficiency"], 3),
         }

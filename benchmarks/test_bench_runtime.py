@@ -70,6 +70,7 @@ def test_bench_runtime(benchmark):
             "prefetch_overhead": round(result.prefetch_overhead(), 4),
             "clock_dilations": result.clock_dilations,
             "clock_dilation_s": round(result.clock_dilation_s, 4),
+            "bytes_on_wire": result.bytes_on_wire,
             "transport": result.transport.to_dict(),
         }
     path = write_bench_artifact("runtime", artifact)

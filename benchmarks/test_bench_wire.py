@@ -1,0 +1,144 @@
+"""Wire fast-path benchmark — codec ops/sec and gossip bytes per round.
+
+Measures the raw codec in isolation (no event loop, no peers) and emits
+``BENCH_wire.json``:
+
+* ``encode_ops_per_s`` / ``decode_ops_per_s`` — messages through
+  :func:`repro.runtime.wire.encode` / :func:`~repro.runtime.wire.decode`
+  over a representative traffic mix (buffer maps, requests, segment
+  data, credits);
+* ``batch_decode_ops_per_s`` — the same mix decoded from FrameBatch
+  envelopes (the read-loop fast path: one length-prefix scan per burst);
+* ``gossip_bytes_full`` / ``gossip_bytes_delta`` — physical bytes per
+  steady-state gossip round, full maps vs changed-bit deltas, for the
+  paper's default window.  The delta figure is the one the transport
+  ships once partners are in sync; CI asserts it stays ≤ 0.5× full.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import scaled, write_bench_artifact
+
+from repro.runtime import wire
+from repro.streaming.buffermap import BufferMap
+
+#: Messages per timing pass (the mix below is repeated to this length).
+SMALL_OPS = 20_000
+PAPER_OPS = 200_000
+
+#: Steady-state gossip rounds compared full-vs-delta.
+ROUNDS = 64
+
+#: The paper's default advertised window (``B = 600``).
+CAPACITY = 600
+
+
+def _traffic_mix():
+    """A representative frame mix, roughly in live-swarm proportions."""
+    bm = BufferMap(
+        head_id=40, capacity=CAPACITY,
+        present=frozenset(range(40, 530)) - {55, 77, 91},
+    )
+    return [
+        wire.BufferMapMsg.from_buffer_map(7, 129, bm, seq=3),
+        wire.SegmentRequest(sender=7, segment_id=131),
+        wire.SegmentData(sender=9, segment_id=131, size_bits=2_000),
+        wire.CreditGrant(sender=7, credits=4),
+        wire.Ping(sender=7, nonce=12),
+    ]
+
+
+def _steady_maps(rounds: int):
+    """A window sliding one segment per round with a little churn."""
+    maps = []
+    for r in range(rounds + 1):
+        head = 100 + r
+        present = set(range(head, head + CAPACITY - 10))
+        # a couple of in-flight holes that move round to round (matches
+        # the ~5 changed runs per round measured on live static swarms)
+        present.discard(head + 30 + (r % 7))
+        present.discard(head + 200 + (r % 11))
+        maps.append(BufferMap(head_id=head, capacity=CAPACITY,
+                              present=frozenset(present)))
+    return maps
+
+
+def test_bench_wire(benchmark):
+    ops = scaled(SMALL_OPS, PAPER_OPS)
+    mix = _traffic_mix()
+    messages = [mix[i % len(mix)] for i in range(ops)]
+    frames = [wire.encode(msg) for msg in messages]
+    batches = wire.encode_batch(frames)
+
+    def sweep():
+        timings = {}
+        start = time.perf_counter()
+        for msg in messages:
+            wire.encode(msg)
+        timings["encode_s"] = time.perf_counter() - start
+
+        decoder = wire.FrameDecoder()
+        start = time.perf_counter()
+        decoded = 0
+        for frame in frames:
+            decoded += len(decoder.feed(frame))
+        timings["decode_s"] = time.perf_counter() - start
+        assert decoded == len(frames)
+
+        decoder = wire.FrameDecoder()
+        start = time.perf_counter()
+        decoded = 0
+        for batch in batches:
+            for envelope in decoder.feed(batch):
+                decoded += len(envelope.frames)
+        timings["batch_decode_s"] = time.perf_counter() - start
+        assert decoded == len(frames)
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    maps = _steady_maps(ROUNDS)
+    full_bytes = 0
+    delta_bytes = 0
+    for seq in range(1, ROUNDS + 1):
+        new, base = maps[seq], maps[seq - 1]
+        newest = new.head_id + CAPACITY - 11
+        full = wire.encode(wire.BufferMapMsg.from_buffer_map(7, newest, new, seq=seq))
+        delta = wire.encode(
+            wire.BufferMapDelta.from_maps(7, seq, newest, new, base)
+        )
+        full_bytes += len(full)
+        delta_bytes += min(len(delta), len(full))  # the transport's fallback rule
+
+    artifact = {
+        "ops": ops,
+        "encode_ops_per_s": round(ops / timings["encode_s"], 1),
+        "decode_ops_per_s": round(ops / timings["decode_s"], 1),
+        "batch_decode_ops_per_s": round(ops / timings["batch_decode_s"], 1),
+        "batch_frames": len(batches),
+        "gossip_rounds": ROUNDS,
+        "gossip_capacity": CAPACITY,
+        "gossip_bytes_full": full_bytes,
+        "gossip_bytes_delta": delta_bytes,
+        "gossip_delta_ratio": round(delta_bytes / full_bytes, 4),
+    }
+    path = write_bench_artifact("wire", artifact)
+
+    print(
+        f"\nencode {artifact['encode_ops_per_s']:.0f}/s, "
+        f"decode {artifact['decode_ops_per_s']:.0f}/s, "
+        f"batch decode {artifact['batch_decode_ops_per_s']:.0f}/s "
+        f"({len(frames)} frames in {len(batches)} envelopes)\n"
+        f"gossip: {full_bytes} B full vs {delta_bytes} B delta "
+        f"({artifact['gossip_delta_ratio']:.2%}) over {ROUNDS} rounds\n"
+        f"artifact: {path}"
+    )
+
+    assert artifact["encode_ops_per_s"] > 0
+    assert artifact["decode_ops_per_s"] > 0
+    # batching must make the decode side cheaper, not dearer
+    assert timings["batch_decode_s"] < 1.5 * timings["decode_s"]
+    # steady-state delta gossip must stay well under the full-map bytes
+    assert delta_bytes <= 0.5 * full_bytes

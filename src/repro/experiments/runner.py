@@ -264,7 +264,13 @@ def cmd_runtime(args: argparse.Namespace) -> str:
         out = report.formatted()
     else:
         spec = spec.scaled(num_nodes=nodes, rounds=rounds, seed=args.seed)
-        result = LiveSwarm(spec, time_scale=time_scale, clock=args.clock).run()
+        result = LiveSwarm(
+            spec,
+            time_scale=time_scale,
+            clock=args.clock,
+            batching=not args.no_batch,
+            delta_maps=not args.no_delta,
+        ).run()
         continuity = result.stable_continuity()
         ledger = summarize_ledger(result.ledger, transport=result.transport)
         lines = [
@@ -277,7 +283,8 @@ def cmd_runtime(args: argparse.Namespace) -> str:
             f"  {result.messages_sent} wire messages "
             f"({result.messages_per_wall_second():.0f}/s wall), "
             f"{result.segments_delivered()} segments "
-            f"({result.segments_per_wall_second():.0f}/s wall)",
+            f"({result.segments_per_wall_second():.0f}/s wall), "
+            f"{result.bytes_on_wire} bytes on wire",
             f"  transport: {result.transport.formatted()}",
             f"  peers +{result.peers_joined}/-{result.peers_left}, "
             f"{result.messages_dropped} frames dropped, "
@@ -316,7 +323,12 @@ def cmd_cluster(args: argparse.Namespace) -> str:
     spec = spec.scaled(num_nodes=nodes, rounds=rounds, seed=args.seed)
     try:
         result = run_cluster(
-            spec, shards=args.shards, rounds=rounds, time_scale=args.time_scale
+            spec,
+            shards=args.shards,
+            rounds=rounds,
+            time_scale=args.time_scale,
+            batching=not args.no_batch,
+            delta_maps=not args.no_delta,
         )
     except RuntimeError as exc:
         raise SystemExit(f"cluster error: {exc}") from exc
@@ -338,6 +350,7 @@ def cmd_cluster(args: argparse.Namespace) -> str:
         f"  sockets: {socket.get('frames_out', 0)} frames out / "
         f"{socket.get('frames_in', 0)} in, {socket.get('bytes_out', 0)} bytes out, "
         f"{socket.get('sheds', 0)} shed, {socket.get('disconnects', 0)} disconnects",
+        f"  {result.bytes_on_wire} bytes on wire (loopback tails included)",
         f"  transport: {result.transport.formatted()}",
         f"  peers +{result.peers_joined}/-{result.peers_left}, "
         f"{result.messages_dropped} frames dropped, "
@@ -510,6 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--assert-continuity", type=float, default=None, metavar="X",
         help="exit non-zero unless the runtime's stable continuity reaches X "
         "(used by the CI runtime smoke step)")
+    runtime_group.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the wire fast path's frame batching (one frame per "
+        "delivery/envelope, the pre-batching wire behaviour)")
+    runtime_group.add_argument(
+        "--no-delta", action="store_true",
+        help="disable buffer-map delta gossip (every gossip ships the "
+        "full map, the pre-delta wire behaviour)")
     cluster_group = parser.add_argument_group("cluster options")
     cluster_group.add_argument(
         "--shards", type=int, default=4,

@@ -51,10 +51,12 @@ from repro.runtime.transport import (
     TransportSummary,
 )
 from repro.runtime.wire import (
+    BufferMapDelta,
     BufferMapMsg,
     CreditGrant,
     DhtLookup,
     DhtResponse,
+    FrameBatch,
     FrameDecoder,
     Handover,
     Ping,
@@ -66,11 +68,14 @@ from repro.runtime.wire import (
     WireKind,
     decode,
     encode,
+    encode_batch,
+    frame_count,
     ledger_entry,
 )
 
 __all__ = [
     "BoundedInbox",
+    "BufferMapDelta",
     "BufferMapMsg",
     "CLOCKS",
     "ClusterConfig",
@@ -81,6 +86,7 @@ __all__ = [
     "DEFAULT_TIME_SCALE",
     "DhtLookup",
     "DhtResponse",
+    "FrameBatch",
     "FrameDecoder",
     "Handover",
     "LiveSwarm",
@@ -101,6 +107,8 @@ __all__ = [
     "WireKind",
     "decode",
     "encode",
+    "encode_batch",
+    "frame_count",
     "ledger_entry",
     "run_on_virtual_clock",
     "run_parity",

@@ -100,6 +100,10 @@ class ClusterConfig:
     start_margin_s: float = 0.5
     setup_timeout_s: float = 90.0
     mp_context: str = "spawn"
+    #: Wire fast-path switches, broadcast to every shard (see
+    #: :class:`~repro.runtime.swarm.LiveSwarm`).
+    batching: bool = True
+    delta_maps: bool = True
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -241,6 +245,8 @@ class ClusterCoordinator:
             "transport": cfg.transport,
             "link_config": cfg.link,
             "token": self.token,
+            "batching": cfg.batching,
+            "delta_maps": cfg.delta_maps,
         }
         try:
             for shard in range(cfg.shards):
@@ -440,6 +446,7 @@ def merge_shard_results(
         per_peer_ledgers=per_peer,
         messages_sent=sum(r.messages_sent for r in results),
         messages_dropped=sum(r.messages_dropped for r in results),
+        bytes_on_wire=sum(r.bytes_on_wire for r in results),
         peers_joined=sum(r.peers_joined for r in results),
         peers_left=sum(r.peers_left for r in results),
         wall_time_s=max(r.wall_time_s for r in results),
@@ -459,6 +466,8 @@ def run_cluster(
     time_scale: Optional[float] = None,
     transport: Optional[TransportConfig] = None,
     link: Optional[LinkConfig] = None,
+    batching: bool = True,
+    delta_maps: bool = True,
 ) -> RuntimeResult:
     """Convenience wrapper: run ``spec`` as a ``shards``-process cluster."""
     config = ClusterConfig(
@@ -466,5 +475,7 @@ def run_cluster(
         time_scale=time_scale,
         transport=transport,
         link=link if link is not None else LinkConfig(),
+        batching=batching,
+        delta_maps=delta_maps,
     )
     return ClusterCoordinator(spec, rounds=rounds, config=config).run()

@@ -57,6 +57,16 @@ class Link(Protocol):
         ...  # pragma: no cover - protocol
 
 
+class _FlushGroup:
+    """Frames towards one ``(src, dst, lane)`` awaiting a single flush."""
+
+    __slots__ = ("born", "frames")
+
+    def __init__(self, born: float, frame: bytes) -> None:
+        self.born = born
+        self.frames = [frame]
+
+
 class LoopbackLink:
     """Delivers frames to peers hosted in this process.
 
@@ -70,6 +80,17 @@ class LoopbackLink:
     frame's credit flows back to its sender, a shed one-shot control
     frame is applied as if delivered.
 
+    With the host's ``batching`` flag on, frames towards the same
+    ``(src, dst, lane)`` that would flush in the same instant coalesce
+    into one :class:`~repro.runtime.wire.FrameBatch` delivery: on the
+    virtual clock only frames born at the same loop time join a group
+    (the batch's deadline is then bit-identical to every member's
+    unbatched deadline, keeping parity runs exact); on the wall clock a
+    frame joins any still-pending group for its key (bounded early
+    delivery — real transports coalesce the same way).  Loss draws stay
+    per *logical* frame, before grouping, so the loss stream is
+    identical with batching on or off.
+
     ``host`` is the owning swarm; the link reads its peer table, latency
     model, loss stream and drop counters directly — it is the swarm's
     delivery path, packaged so local and TCP links are interchangeable.
@@ -77,15 +98,22 @@ class LoopbackLink:
 
     def __init__(self, host: "LiveSwarm") -> None:
         self.host = host
+        #: Pending coalescing groups keyed by ``(src, dst, data)``.
+        self._groups: dict = {}
 
     def send(self, src: int, dst: int, frame: bytes, data: bool = False) -> None:
         """Ship one frame with link latency (and loss, for data frames)."""
         host = self.host
-        if (
-            data
-            and host.loss_rng is not None
-            and host.loss_rng.random() < host.spec.loss_rate
-        ):
+        is_batch = len(frame) > 4 and frame[4] == wire.WireKind.BATCH
+        lossy = host.loss_rng is not None and host.spec.loss_rate > 0.0
+        if data and lossy and is_batch:
+            # A routed batch from a peer shard: the network loses *inner*
+            # frames independently, exactly as if they travelled loose.
+            frame = self._lose_from_batch(src, dst, frame)
+            if frame is None:
+                return
+            is_batch = len(frame) > 4 and frame[4] == wire.WireKind.BATCH
+        elif data and lossy and host.loss_rng.random() < host.spec.loss_rate:
             host.messages_dropped += 1
             self._refund_lost(src, dst)
             return
@@ -93,27 +121,71 @@ class LoopbackLink:
         if peer is None or peer.stopped or not peer.node.alive:
             host.messages_dropped += 1
             return
-        delay = host.manager.latency_ms(src, dst) / 1000.0 * host.time_scale
         loop = asyncio.get_running_loop()
-        loop.call_later(delay, self._deliver_now, src, dst, frame, data)
+        if not host.batching or is_batch:
+            delay = host.manager.latency_ms(src, dst) / 1000.0 * host.time_scale
+            loop.call_later(delay, self._deliver_now, src, dst, frame, data)
+            return
+        now = loop.time()
+        key = (src, dst, data)
+        group = self._groups.get(key)
+        if group is not None and (group.born == now or host.clock != "virtual"):
+            group.frames.append(frame)
+            return
+        group = _FlushGroup(now, frame)
+        self._groups[key] = group
+        delay = host.manager.latency_ms(src, dst) / 1000.0 * host.time_scale
+        loop.call_later(delay, self._flush_group, key, group)
+
+    def _flush_group(self, key: Tuple[int, int, bool], group: _FlushGroup) -> None:
+        if self._groups.get(key) is group:
+            del self._groups[key]
+        src, dst, data = key
+        for chunk in wire.encode_batch(group.frames):
+            self._deliver_now(src, dst, chunk, data)
 
     def _deliver_now(self, src: int, dst: int, frame: bytes, data: bool) -> None:
         host = self.host
+        count = wire.frame_count(frame)
         peer = host.peers.get(dst)
         if peer is None or peer.stopped or not peer.node.alive:
-            host.messages_dropped += 1
+            host.messages_dropped += count
             return
-        if not peer.inbox.put(src, frame, control=not data):
+        host.bytes_on_wire += len(frame)
+        if not peer.inbox.put(src, frame, control=not data, weight=count):
             # The bounded lane shed the frame.  Flow-control state must
             # survive the shed either way: a data frame's spent credit
             # comes home (the receiver counts it as consumed), and a shed
             # credit grant is applied as if delivered — otherwise the
             # link's window would wedge permanently short.
-            host.messages_dropped += 1
+            host.messages_dropped += count
             if data:
-                peer.note_shed_data(src)
+                peer.note_shed_data(src, count)
             else:
                 peer.absorb_shed_control(frame)
+
+    def _lose_from_batch(
+        self, src: int, dst: int, frame: bytes
+    ) -> Optional[bytes]:
+        """Apply per-frame loss inside a routed data batch.
+
+        Returns the (possibly re-batched) survivors, or ``None`` when
+        the network ate every inner frame.  Each loss refunds its own
+        credit, exactly like a loose frame's loss would.
+        """
+        host = self.host
+        survivors = []
+        for inner in wire.decode(frame)[0].frames:
+            if host.loss_rng.random() < host.spec.loss_rate:
+                host.messages_dropped += 1
+                self._refund_lost(src, dst)
+            else:
+                survivors.append(bytes(inner))
+        if not survivors:
+            return None
+        if len(survivors) == 1:
+            return survivors[0]
+        return wire.encode(wire.FrameBatch(frames=tuple(survivors)))
 
     def _refund_lost(self, src: int, dst: int) -> None:
         """Return the credit of a data frame the *network* dropped.
@@ -128,6 +200,7 @@ class LoopbackLink:
 
     def close(self) -> None:
         """Nothing to tear down: loopback state lives in the peers."""
+        self._groups.clear()
 
 
 @dataclass(frozen=True)
@@ -230,6 +303,10 @@ class SocketLink:
         self.hello = hello
         self.stats = SocketLinkStats()
         self.state = _CONNECTING
+        #: Coalesce same-pair frames drained in one write-loop pass into
+        #: FrameBatch payloads (one RoutedFrame envelope per burst).
+        #: Stub hosts in tests carry no flag and default to batching.
+        self.batching = bool(getattr(host, "batching", True))
         self._writer: Optional[asyncio.StreamWriter] = None
         self._queue: Deque[Tuple[bytes, int, int, bool]] = deque()
         self._wakeup = asyncio.Event()
@@ -268,9 +345,41 @@ class SocketLink:
             self.stats.sheds += 1
             self.host.note_undeliverable(src, dst, data)
             return
-        envelope = wire.encode(wire.RoutedFrame(src=src, dst=dst, payload=frame, data=data))
-        self._queue.append((envelope, src, dst, data))
+        self._queue.append((frame, src, dst, data))
         self._wakeup.set()
+
+    #: Headroom a batch chunk leaves under :data:`wire.MAX_FRAME_PAYLOAD`
+    #: for the RoutedFrame envelope that will wrap it (flags + ids).
+    _ENVELOPE_HEADROOM = 64
+
+    def _drain_envelopes(self) -> List[bytes]:
+        """Drain the queue into encoded RoutedFrame envelopes.
+
+        Frames towards the same ``(src, dst, lane)`` drained in one pass
+        coalesce into FrameBatch payloads — one envelope per burst
+        instead of one per frame — in first-appearance order, so
+        per-pair FIFO survives.  With batching off (or a single frame
+        per pair) each frame rides its own envelope, byte-identical to
+        the unbatched wire format.
+        """
+        groups: dict = {}
+        while self._queue:
+            frame, src, dst, data = self._queue.popleft()
+            self.stats.frames_out += 1
+            groups.setdefault((src, dst, data), []).append(frame)
+        envelopes: List[bytes] = []
+        limit = wire.MAX_FRAME_PAYLOAD - self._ENVELOPE_HEADROOM
+        for (src, dst, data), frames in groups.items():
+            chunks = (
+                wire.encode_batch(frames, limit=limit) if self.batching else frames
+            )
+            envelopes.extend(
+                wire.encode(
+                    wire.RoutedFrame(src=src, dst=dst, payload=chunk, data=data)
+                )
+                for chunk in chunks
+            )
+        return envelopes
 
     async def _write_loop(self) -> None:
         writer = self._writer
@@ -280,12 +389,7 @@ class SocketLink:
                 while not self._queue:
                     self._wakeup.clear()
                     await self._wakeup.wait()
-                batch = []
-                while self._queue:
-                    envelope, _, _, _ = self._queue.popleft()
-                    batch.append(envelope)
-                chunk = b"".join(batch)
-                self.stats.frames_out += len(batch)
+                chunk = b"".join(self._drain_envelopes())
                 self.stats.bytes_out += len(chunk)
                 writer.write(chunk)
                 await writer.drain()
@@ -297,7 +401,7 @@ class SocketLink:
     # ----------------------------------------------------------------- receiving
     def _dispatch_incoming(self, msg: wire.WireMessage) -> None:
         if isinstance(msg, wire.RoutedFrame):
-            self.stats.frames_in += 1
+            self.stats.frames_in += wire.frame_count(msg.payload)
             self.host.receive_routed(msg.src, msg.dst, msg.payload, msg.data)
         # A late ShardHello (or anything else) is ignored: the handshake
         # happened before attach.

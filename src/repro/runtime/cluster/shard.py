@@ -72,11 +72,19 @@ class ShardSwarm(LiveSwarm):
         time_scale: float = DEFAULT_TIME_SCALE,
         transport: Optional[TransportConfig] = None,
         link_config: Optional[LinkConfig] = None,
+        batching: bool = True,
+        delta_maps: bool = True,
     ) -> None:
         if not (0 <= shard_index < num_shards):
             raise ValueError(f"shard_index {shard_index} outside [0, {num_shards})")
         super().__init__(
-            spec, rounds=rounds, time_scale=time_scale, transport=transport, clock="wall"
+            spec,
+            rounds=rounds,
+            time_scale=time_scale,
+            transport=transport,
+            clock="wall",
+            batching=batching,
+            delta_maps=delta_maps,
         )
         self.shard_index = shard_index
         self.num_shards = num_shards
@@ -151,7 +159,7 @@ class ShardSwarm(LiveSwarm):
         remote_ids = self.shard_ring_ids(shard)
         for peer in self.peers.values():
             for rid in remote_ids:
-                peer.send_windows.reset(rid)
+                peer.reset_partner_link(rid)
 
     def on_link_restored(self, shard: int) -> None:
         """The stream healed: nothing to repair — windows were reset on

@@ -76,6 +76,8 @@ class ShardResult:
     worst_lateness_s: float
     socket: Dict[str, int] = field(default_factory=dict)
     lost_shards: List[int] = field(default_factory=list)
+    #: Physical bytes this shard's loopback tail delivered (post-batch).
+    bytes_on_wire: int = 0
 
 
 class _Mailbox:
@@ -262,6 +264,8 @@ class ShardWorker:
             time_scale=payload["time_scale"],
             transport=transport,
             link_config=self.link_config,
+            batching=payload.get("batching", True),
+            delta_maps=payload.get("delta_maps", True),
         )
         swarm.build()
         self.hello = wire.ShardHello(
@@ -318,6 +322,7 @@ class ShardWorker:
                     worst_lateness_s=swarm.worst_lateness_s,
                     socket=swarm.socket_summary(),
                     lost_shards=sorted(swarm.lost_shards),
+                    bytes_on_wire=result.bytes_on_wire,
                 ),
             )
         )

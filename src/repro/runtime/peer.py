@@ -6,8 +6,10 @@ life: instead of a global round barrier, each peer owns
 
 * a **bounded inbox** (:class:`~repro.runtime.transport.BoundedInbox`) of
   raw wire frames — control frames on a priority lane ahead of segment
-  data — drained by a reader task that decodes frames
-  (:class:`~repro.runtime.wire.FrameDecoder`) and dispatches them;
+  data — drained by a reader task that decodes frames in place (links
+  deliver complete frames, so no stream reassembly happens here; a
+  :class:`~repro.runtime.wire.FrameBatch` entry is unwrapped and each
+  inner frame dispatched and credit-accounted individually);
 * a **credit-gated send window per link**
   (:class:`~repro.runtime.transport.SendWindowSet`): at most
   ``data_window`` unconsumed segments in flight towards any one receiver;
@@ -61,11 +63,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 #: Kind bytes (right after the 4-byte length prefix) of the control
 #: frames that carry one-shot state and therefore must survive an inbox
-#: shed: credit grants (window state the granting side already reset)
-#: and graceful-leave handovers (the sender dies right after sending).
+#: shed: credit grants (window state the granting side already reset),
+#: graceful-leave handovers (the sender dies right after sending), and
+#: full buffer maps — under delta gossip a full map is no longer
+#: repeated every period but the *anchor* every subsequent delta is
+#: decoded against, so losing one breaks the chain until a desync
+#: round-trip completes.  Deltas ride along: an absorbed in-sequence
+#: delta applies normally, an out-of-sequence one triggers the usual
+#: PING resync — whereas silently dropping it would leave this peer's
+#: view of the sender a full desync round-trip staler than the old
+#: repeat-every-period full maps ever were.
 _UNSHEDDABLE_KIND_BYTES = (
     bytes([wire.WireKind.CREDIT]),
     bytes([wire.WireKind.HANDOVER]),
+    bytes([wire.WireKind.BUFFER_MAP]),
+    bytes([wire.WireKind.MAP_DELTA]),
 )
 
 
@@ -114,8 +126,20 @@ class LivePeer:
         self.inbox = BoundedInbox(transport.inbox_watermark, self.transport_stats)
         self.send_windows = SendWindowSet(transport, self.transport_stats)
         self._credit_ledger = CreditLedger(transport.credit_batch)
-        self.decoder = wire.FrameDecoder()
         self.neighbor_maps: Dict[int, BufferMap] = {}
+        #: Gossip sequence number of each partner's stored map — a
+        #: :class:`~repro.runtime.wire.BufferMapDelta` with ``seq = s``
+        #: only applies when the stored map is at ``s - 1``.
+        self._neighbor_map_seq: Dict[int, int] = {}
+        #: Monotone counter over this peer's own gossip snapshots.
+        self._gossip_seq = 0
+        #: The last gossiped ``(seq, snapshot)`` — the base the next
+        #: period's delta is diffed against (``None`` before first gossip).
+        self._last_gossip: Optional[Tuple[int, BufferMap]] = None
+        #: Per-partner last snapshot seq we shipped them (full or via an
+        #: unbroken delta chain); a partner not at ``seq - 1`` gets a full
+        #: map instead of a delta.
+        self._map_synced: Dict[int, int] = {}
         #: Partners whose buffer map arrived since this period's boundary —
         #: the readiness signal the adaptive mid-period phasing waits on.
         self._maps_this_period: set = set()
@@ -234,27 +258,39 @@ class LivePeer:
 
     # ------------------------------------------------------------------ receiving
     async def _read_loop(self) -> None:
+        # Inbox entries are complete frames (the links guarantee it), so
+        # they decode directly — no stream reassembly buffer on this path.
+        decode = wire.decode
+        batch_kind = wire.WireKind.BATCH
         while True:
             for src, chunk, was_control in await self.inbox.get_batch():
-                for msg in self.decoder.feed(chunk):
-                    self._dispatch(msg)
-                if not was_control:
-                    # One data frame consumed: owe its sender a credit and
-                    # return a batch once enough have accumulated.
-                    self._consume_data_credit(src)
+                if chunk[4] == batch_kind:
+                    for frame in decode(chunk)[0].frames:
+                        self._dispatch(decode(frame)[0])
+                        if not was_control:
+                            self._consume_data_credit(src)
+                else:
+                    self._dispatch(decode(chunk)[0])
+                    if not was_control:
+                        # One data frame consumed: owe its sender a credit
+                        # and return a batch once enough have accumulated.
+                        self._consume_data_credit(src)
 
     def _consume_data_credit(self, src: int) -> None:
         if self._credit_ledger.consume(src):
             self._grant_credits(src)
 
-    def note_shed_data(self, src: int) -> None:
-        """The transport shed a data frame bound for this peer.
+    def note_shed_data(self, src: int, count: int = 1) -> None:
+        """The transport shed ``count`` data frames bound for this peer.
 
-        The credit the sender spent on it must still flow back, or the
+        The credits the sender spent on them must still flow back, or the
         link would wedge with the window permanently short; a shed frame
-        counts exactly like a consumed one for flow control.
+        counts exactly like a consumed one for flow control.  A shed
+        :class:`~repro.runtime.wire.FrameBatch` refunds every inner data
+        frame's credit (``count`` > 1).
         """
-        self._consume_data_credit(src)
+        for _ in range(count):
+            self._consume_data_credit(src)
 
     def refund_data_credit(self, dst: int) -> None:
         """A data frame towards ``dst`` died before any receiver saw it.
@@ -270,24 +306,46 @@ class LivePeer:
         """
         self._on_credit(wire.CreditGrant(sender=dst, credits=1))
 
+    def reset_partner_link(self, dst: int) -> None:
+        """Forget all per-link state towards ``dst`` (departure or drop).
+
+        Resets the credit window (refunding in-flight credits, counted in
+        ``link_resets``) *and* the delta-gossip sync mark: whatever map
+        snapshot ``dst`` held is gone or stale, so the next gossip towards
+        that ring id must ship a full map, not a delta.
+        """
+        self.send_windows.reset(dst)
+        self._map_synced.pop(dst, None)
+
     def absorb_shed_control(self, frame: bytes) -> None:
         """A control frame bound for this peer was shed at the inbox.
 
-        Most control traffic is safe to lose (gossip and probes repeat
-        every period), but two frames carry one-shot state that exists
-        nowhere else: a :class:`~repro.runtime.wire.CreditGrant` (the
-        granting side already reset its owed balance, so losing it would
-        shrink this peer's send window to that receiver forever) and a
-        :class:`~repro.runtime.wire.Handover` (the gracefully leaving
-        sender stops right after shipping its backup store).  Those are
-        applied as if delivered (the loopback stand-in for a real
-        transport's reliable control channel); everything else just
-        stays dropped.
+        Requests and probes are safe to lose (they repeat), but some
+        frames carry state that exists nowhere else: a :class:`~repro.
+        runtime.wire.CreditGrant` (the granting side already reset its
+        owed balance, so losing it would shrink this peer's send window
+        to that receiver forever), a :class:`~repro.runtime.wire.
+        Handover` (the gracefully leaving sender stops right after
+        shipping its backup store), and the buffer-map gossip family
+        (under delta encoding gossip is *stateful*: full maps are the
+        chain anchors, deltas the links — see ``_UNSHEDDABLE_KIND_BYTES``).
+        Those are applied as if delivered (the loopback stand-in for a
+        real transport's reliable control channel); everything else just
+        stays dropped.  A shed :class:`~repro.runtime.wire.FrameBatch`
+        is unwrapped so any one-shot frames *inside* it survive too.
         """
+        if frame[4] == wire.WireKind.BATCH:
+            for inner in wire.decode(frame)[0].frames:
+                self.absorb_shed_control(inner)
+            return
         if frame[4:5] in _UNSHEDDABLE_KIND_BYTES:
             msg, _ = wire.decode(frame)
             if isinstance(msg, wire.CreditGrant):
                 self._on_credit(msg)
+            elif isinstance(msg, wire.BufferMapMsg):
+                self._on_buffer_map(msg)
+            elif isinstance(msg, wire.BufferMapDelta):
+                self._on_map_delta(msg)
             else:
                 self._on_handover(msg)
 
@@ -311,39 +369,39 @@ class LivePeer:
     def _dispatch(self, msg: wire.WireMessage) -> None:
         if not self.node.alive:
             return
-        if isinstance(msg, wire.BufferMapMsg):
-            self._on_buffer_map(msg)
-        elif isinstance(msg, wire.SegmentRequest):
-            self._on_segment_request(msg)
-        elif isinstance(msg, wire.SegmentData):
-            self._on_segment_data(msg)
-        elif isinstance(msg, wire.SegmentNack):
-            self._on_segment_nack(msg)
-        elif isinstance(msg, wire.DhtLookup):
-            self._on_dht_lookup(msg)
-        elif isinstance(msg, wire.DhtResponse):
-            self._on_dht_response(msg)
-        elif isinstance(msg, wire.Ping):
-            self._send(msg.sender, wire.Pong(sender=self.peer_id, nonce=msg.nonce))
-            if msg.sender in self.node.neighbors:
-                # A PING from a partner is a joiner announcing itself
-                # (see announce_join): reply with our current buffer map
-                # so the newcomer can schedule within its first period
-                # instead of waiting a full period for boundary gossip —
-                # the live analogue of the simulator's joiners seeing all
-                # partner snapshots in their first round.
-                self._send(
-                    msg.sender,
-                    wire.BufferMapMsg.from_buffer_map(
-                        self.peer_id, self.known_newest, self.node.buffer_map()
-                    ),
-                )
-        elif isinstance(msg, wire.Pong):
-            pass  # liveness confirmation only
-        elif isinstance(msg, wire.Handover):
-            self._on_handover(msg)
-        elif isinstance(msg, wire.CreditGrant):
-            self._on_credit(msg)
+        handler = _DISPATCH.get(type(msg))
+        if handler is not None:
+            handler(self, msg)
+        # Anything unhandled (PONG liveness confirmations) is ignored.
+
+    def _on_ping(self, msg: wire.Ping) -> None:
+        self._send(msg.sender, wire.Pong(sender=self.peer_id, nonce=msg.nonce))
+        if msg.sender not in self.node.neighbors:
+            return
+        # A PING from a partner is a joiner announcing itself (see
+        # announce_join) or a delta receiver asking for a resync: reply
+        # with a full buffer map so the partner can schedule within this
+        # period — the live analogue of the simulator's joiners seeing
+        # all partner snapshots in their first round.
+        if self.swarm.delta_maps and self._last_gossip is not None:
+            # Ship the *gossiped snapshot* (not the live buffer): the
+            # next periodic delta is diffed against that snapshot, so
+            # anchoring the partner anywhere else would break its chain.
+            seq, snapshot = self._last_gossip
+            reply = wire.BufferMapMsg.from_buffer_map(
+                self.peer_id, self.known_newest, snapshot, seq=seq
+            )
+            self._map_synced[msg.sender] = seq
+        else:
+            reply = wire.BufferMapMsg.from_buffer_map(
+                self.peer_id, self.known_newest, self.node.buffer_map()
+            )
+        frame_len = len(wire.encode(reply))
+        stats = self.transport_stats
+        stats.map_fulls_sent += 1
+        stats.gossip_bytes += frame_len
+        stats.gossip_bytes_full += frame_len
+        self._send(msg.sender, reply)
 
     def _on_credit(self, msg: wire.CreditGrant) -> None:
         """Returned link credits: ship the pending segments they unblock."""
@@ -352,6 +410,26 @@ class LivePeer:
 
     def _on_buffer_map(self, msg: wire.BufferMapMsg) -> None:
         self.neighbor_maps[msg.sender] = msg.buffer_map()
+        self._neighbor_map_seq[msg.sender] = msg.seq
+        self._maps_this_period.add(msg.sender)
+        if msg.newest_id > self.known_newest:
+            self.known_newest = msg.newest_id
+
+    def _on_map_delta(self, msg: wire.BufferMapDelta) -> None:
+        base = self.neighbor_maps.get(msg.sender)
+        if base is None or self._neighbor_map_seq.get(msg.sender) != msg.seq - 1:
+            # Out of sync: the base snapshot this delta chains off is not
+            # the one we hold (a shed gossip frame, a link reset, or we
+            # only just met).  Drop the delta and PING the sender — its
+            # PING handler replies with a full map that re-anchors the
+            # chain within the period.
+            self.transport_stats.map_desyncs += 1
+            self._send(
+                msg.sender, wire.Ping(sender=self.peer_id, nonce=next(self._ping_nonce))
+            )
+            return
+        self.neighbor_maps[msg.sender] = msg.apply(base)
+        self._neighbor_map_seq[msg.sender] = msg.seq
         self._maps_this_period.add(msg.sender)
         if msg.newest_id > self.known_newest:
             self.known_newest = msg.newest_id
@@ -792,10 +870,63 @@ class LivePeer:
         return self.known_newest if self.known_newest >= 0 else None
 
     def _gossip_buffer_map(self) -> None:
-        msg = wire.BufferMapMsg.from_buffer_map(
-            self.peer_id, self.known_newest, self.node.buffer_map()
+        """Boundary gossip: advertise this peer's buffer map to partners.
+
+        With delta encoding on, partners whose stored snapshot is in sync
+        (they received the previous gossip, full or via an unbroken delta
+        chain) get a :class:`~repro.runtime.wire.BufferMapDelta` — the
+        changed-bit runs against the previous snapshot — while everyone
+        else (first contact, reset link, missed gossip) gets the full
+        map.  A delta that would not beat the full encoding falls back to
+        the full map for every partner.  Either form is ledger-charged as
+        a full ``capacity + 20``-bit map (the paper's Section 5.4 cost);
+        the physical savings show up in the ``gossip_bytes`` counters.
+        """
+        targets = self.node.neighbors
+        bm = self.node.buffer_map()
+        stats = self.transport_stats
+        if not self.swarm.delta_maps:
+            msg = wire.BufferMapMsg.from_buffer_map(
+                self.peer_id, self.known_newest, bm
+            )
+            frame_len = len(wire.encode(msg))
+            count = len(targets)
+            stats.map_fulls_sent += count
+            stats.gossip_bytes += count * frame_len
+            stats.gossip_bytes_full += count * frame_len
+            self._broadcast(targets, msg)
+            return
+        seq = self._gossip_seq = self._gossip_seq + 1
+        prev = self._last_gossip
+        self._last_gossip = (seq, bm)
+        full_msg = wire.BufferMapMsg.from_buffer_map(
+            self.peer_id, self.known_newest, bm, seq=seq
         )
-        self._broadcast(self.node.neighbors, msg)
+        entry = wire.ledger_entry(full_msg)
+        full_frame = wire.encode(full_msg)
+        delta_frame = None
+        prev_seq = -1
+        if prev is not None:
+            prev_seq, prev_map = prev
+            candidate = wire.encode(
+                wire.BufferMapDelta.from_maps(
+                    self.peer_id, seq, self.known_newest, bm, prev_map
+                )
+            )
+            if len(candidate) < len(full_frame):
+                delta_frame = candidate
+        synced = self._map_synced
+        for dst in targets:
+            if delta_frame is not None and synced.get(dst) == prev_seq:
+                frame = delta_frame
+                stats.map_deltas_sent += 1
+            else:
+                frame = full_frame
+                stats.map_fulls_sent += 1
+            stats.gossip_bytes += len(frame)
+            stats.gossip_bytes_full += len(full_frame)
+            synced[dst] = seq
+            self._ship(dst, frame, entry, data=False)
 
     def _schedule_requests(self) -> None:
         node = self.node
@@ -817,3 +948,20 @@ class LivePeer:
                 request.supplier_id,
                 wire.SegmentRequest(sender=self.peer_id, segment_id=request.segment_id),
             )
+
+
+#: Reader-loop dispatch table, keyed by decoded message type.  PONG is
+#: deliberately absent — liveness confirmations need no handling — and
+#: FrameBatch never reaches here (the read loop unwraps envelopes).
+_DISPATCH = {
+    wire.BufferMapMsg: LivePeer._on_buffer_map,
+    wire.BufferMapDelta: LivePeer._on_map_delta,
+    wire.SegmentRequest: LivePeer._on_segment_request,
+    wire.SegmentData: LivePeer._on_segment_data,
+    wire.SegmentNack: LivePeer._on_segment_nack,
+    wire.DhtLookup: LivePeer._on_dht_lookup,
+    wire.DhtResponse: LivePeer._on_dht_response,
+    wire.Ping: LivePeer._on_ping,
+    wire.Handover: LivePeer._on_handover,
+    wire.CreditGrant: LivePeer._on_credit,
+}

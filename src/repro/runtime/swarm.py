@@ -109,6 +109,9 @@ class RuntimeResult:
     #: ``None`` for single-process runs.  Plain dict so the result stays
     #: picklable across the campaign's worker processes.
     cluster: Optional[Dict[str, Any]] = None
+    #: Physical bytes handed to links (post-batching, post-delta) — the
+    #: fast path's savings show up here, never in the paper ledger.
+    bytes_on_wire: int = 0
 
     # ------------------------------------------------------------------ metrics
     def continuity_series(self) -> List[float]:
@@ -171,12 +174,19 @@ class LiveSwarm:
         time_scale: float = DEFAULT_TIME_SCALE,
         transport: Optional[TransportConfig] = None,
         clock: str = "wall",
+        batching: bool = True,
+        delta_maps: bool = True,
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
         if clock not in CLOCKS:
             raise ValueError(f"clock must be one of {CLOCKS}, got {clock!r}")
         self.spec = spec
+        #: Wire fast-path switches (``--no-batch`` / ``--no-delta``):
+        #: coalesce same-turn frames into FrameBatch envelopes, and gossip
+        #: buffer maps as changed-bit deltas against the last-acked map.
+        self.batching = bool(batching)
+        self.delta_maps = bool(delta_maps)
         self.rounds = int(spec.rounds if rounds is None else rounds)
         if self.rounds < 1:
             raise ValueError("rounds must be >= 1")
@@ -195,6 +205,8 @@ class LiveSwarm:
         self.retired_peers: List[LivePeer] = []
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: Physical bytes shipped over links (post-batch/delta encoding).
+        self.bytes_on_wire = 0
         self.peers_joined = 0
         self.peers_left = 0
         #: Random stream deciding data-frame loss (``None`` = lossless).
@@ -484,7 +496,7 @@ class LiveSwarm:
         # departed peer are unrecoverable, and a joiner admitted later
         # under a recycled ring id must start with a full window.
         for survivor in self.peers.values():
-            survivor.send_windows.reset(node_id)
+            survivor.reset_partner_link(node_id)
 
     def _admit_peer(self, rng: np.random.Generator, first_tick: int) -> None:
         ring_id = self.manager.admit_node(rng, now=self.sim_now())
@@ -558,6 +570,7 @@ class LiveSwarm:
             clock=self.clock,
             clock_dilation_s=self.clock_dilation_s,
             clock_dilations=self.clock_dilations,
+            bytes_on_wire=self.bytes_on_wire,
         )
 
 
@@ -567,8 +580,16 @@ def run_swarm(
     time_scale: float = DEFAULT_TIME_SCALE,
     transport: Optional[TransportConfig] = None,
     clock: str = "wall",
+    batching: bool = True,
+    delta_maps: bool = True,
 ) -> RuntimeResult:
     """Convenience wrapper: build and run one live swarm to completion."""
     return LiveSwarm(
-        spec, rounds=rounds, time_scale=time_scale, transport=transport, clock=clock
+        spec,
+        rounds=rounds,
+        time_scale=time_scale,
+        transport=transport,
+        clock=clock,
+        batching=batching,
+        delta_maps=delta_maps,
     ).run()

@@ -98,6 +98,18 @@ class TransportStats:
     #: Credit-gated links forcibly reset (peer departures and cluster
     #: socket drops) — each reset refunds the link's in-flight credits.
     link_resets: int = 0
+    #: Physical bytes of buffer-map gossip this peer sent (full maps and
+    #: deltas, as actually encoded).
+    gossip_bytes: int = 0
+    #: What the same gossip would have cost had every map shipped full —
+    #: the baseline the delta savings are measured against.
+    gossip_bytes_full: int = 0
+    #: Buffer maps this peer shipped as deltas / as full maps.
+    map_deltas_sent: int = 0
+    map_fulls_sent: int = 0
+    #: Incoming deltas dropped for a missing or out-of-sequence base map
+    #: (each triggers a PING resync towards the sender).
+    map_desyncs: int = 0
 
 
 @dataclass(frozen=True)
@@ -116,6 +128,11 @@ class TransportSummary:
     pending_high_watermark: int = 0
     credits_granted: int = 0
     link_resets: int = 0
+    gossip_bytes: int = 0
+    gossip_bytes_full: int = 0
+    map_deltas_sent: int = 0
+    map_fulls_sent: int = 0
+    map_desyncs: int = 0
 
     #: Fields aggregated as maxima rather than sums (peak queue depths).
     _MAX_FIELDS = frozenset({"inbox_high_watermark", "pending_high_watermark"})
@@ -165,24 +182,37 @@ class BoundedInbox:
             raise ValueError("watermark must be >= 1")
         self.watermark = watermark
         self.stats = stats
-        #: (sender id, frame bytes) per lane.
-        self._control: Deque[Tuple[int, bytes]] = deque()
-        self._data: Deque[Tuple[int, bytes]] = deque()
+        #: (sender id, frame bytes, weight) per lane.  The weight is the
+        #: number of logical frames the entry carries (> 1 for a
+        #: :class:`~repro.runtime.wire.FrameBatch`), so a batched burst
+        #: counts against the watermark exactly like its loose frames.
+        self._control: Deque[Tuple[int, bytes, int]] = deque()
+        self._data: Deque[Tuple[int, bytes, int]] = deque()
+        self._control_depth = 0
+        self._data_depth = 0
         self._ready = asyncio.Event()
 
     def __len__(self) -> int:
-        return len(self._control) + len(self._data)
+        return self._control_depth + self._data_depth
 
-    def put(self, src: int, frame: bytes, control: bool) -> bool:
-        """Enqueue one frame; returns ``False`` if the lane shed it."""
-        lane = self._control if control else self._data
-        if len(lane) >= self.watermark:
-            if control:
-                self.stats.inbox_dropped_control += 1
-            else:
-                self.stats.inbox_dropped_data += 1
-            return False
-        lane.append((src, frame))
+    def put(self, src: int, frame: bytes, control: bool, weight: int = 1) -> bool:
+        """Enqueue one frame; returns ``False`` if the lane shed it.
+
+        ``weight`` is the logical frame count of the entry (a batch of
+        *k* frames fills *k* watermark slots).
+        """
+        if control:
+            if self._control_depth >= self.watermark:
+                self.stats.inbox_dropped_control += weight
+                return False
+            self._control.append((src, frame, weight))
+            self._control_depth += weight
+        else:
+            if self._data_depth >= self.watermark:
+                self.stats.inbox_dropped_data += weight
+                return False
+            self._data.append((src, frame, weight))
+            self._data_depth += weight
         depth = len(self)
         if depth > self.stats.inbox_high_watermark:
             self.stats.inbox_high_watermark = depth
@@ -195,9 +225,11 @@ class BoundedInbox:
             self._ready.clear()
             await self._ready.wait()
         if self._control:
-            src, frame = self._control.popleft()
+            src, frame, weight = self._control.popleft()
+            self._control_depth -= weight
             return src, frame, True
-        src, frame = self._data.popleft()
+        src, frame, weight = self._data.popleft()
+        self._data_depth -= weight
         return src, frame, False
 
     async def get_batch(self) -> "list[Tuple[int, bytes, bool]]":
@@ -211,10 +243,12 @@ class BoundedInbox:
         while not self._control and not self._data:
             self._ready.clear()
             await self._ready.wait()
-        batch = [(src, frame, True) for src, frame in self._control]
+        batch = [(src, frame, True) for src, frame, _ in self._control]
         self._control.clear()
-        batch.extend((src, frame, False) for src, frame in self._data)
+        self._control_depth = 0
+        batch.extend((src, frame, False) for src, frame, _ in self._data)
         self._data.clear()
+        self._data_depth = 0
         return batch
 
 

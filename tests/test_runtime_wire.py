@@ -67,6 +67,28 @@ def sample_messages():
             payload=wire.encode(wire.SegmentData(sender=1, segment_id=2, size_bits=64)),
             data=True,
         ),
+        # src matches the inner frame's sender: exercises the src-elision path
+        wire.RoutedFrame(
+            src=1, dst=9,
+            payload=wire.encode(wire.SegmentData(sender=1, segment_id=2, size_bits=64)),
+            data=True,
+        ),
+        # -- fast-path envelopes: batches and incremental maps
+        wire.FrameBatch(
+            frames=(
+                wire.encode(wire.Ping(sender=1, nonce=7)),
+                wire.encode(wire.SegmentRequest(sender=2, segment_id=3)),
+                wire.encode(wire.BufferMapMsg.from_buffer_map(1, 0, odd_map, seq=4)),
+            )
+        ),
+        wire.FrameBatch(frames=(wire.encode(wire.Pong(sender=5, nonce=6)),)),
+        wire.BufferMapDelta(
+            sender=3, seq=9, newest_id=120, head_id=40, capacity=600,
+            runs=((0, 3), (17, 1), (599, 1)),
+        ),
+        wire.BufferMapDelta(
+            sender=3, seq=1, newest_id=-1, head_id=0, capacity=600, runs=(),
+        ),
     ]
 
 
@@ -89,6 +111,8 @@ class TestRoundTrip:
             wire.WireKind.CREDIT: "CreditGrant",
             wire.WireKind.SHARD_HELLO: "ShardHello",
             wire.WireKind.ROUTE: "RoutedFrame",
+            wire.WireKind.BATCH: "FrameBatch",
+            wire.WireKind.MAP_DELTA: "BufferMapDelta",
         }
         assert set(by_kind) == set(wire.WireKind), "update the map for new kinds"
         assert covered == set(by_kind.values())
@@ -230,6 +254,38 @@ class TestFrameDecoder:
         decoder = wire.FrameDecoder()
         with pytest.raises(wire.WireError):
             decoder.feed(b"\x00\x00\x00\x01\xee")
+
+    def test_one_byte_chunks_keep_the_receive_buffer_compacted(self):
+        # Regression for the quadratic re-slicing decoder: a long stream
+        # arriving one byte at a time must neither lose messages nor let
+        # the internal buffer grow past the compaction threshold (the old
+        # implementation copied the whole pending buffer per chunk; this
+        # one tracks an offset and compacts periodically).
+        msgs = [wire.Ping(sender=i, nonce=i) for i in range(2000)]
+        stream = b"".join(wire.encode(m) for m in msgs)
+        decoder = wire.FrameDecoder()
+        decoded = []
+        for i in range(len(stream)):
+            decoded.extend(decoder.feed(stream[i : i + 1]))
+            assert len(decoder._buffer) <= decoder._COMPACT_AT + 16
+        assert decoded == msgs
+        assert decoder.pending_bytes == 0
+
+    def test_dead_prefix_past_threshold_is_compacted(self):
+        # One huge chunk of complete frames plus a partial tail: the dead
+        # prefix exceeds _COMPACT_AT inside a single feed, so the buffer
+        # must shrink back to (roughly) the partial frame.
+        msgs = [wire.Ping(sender=i, nonce=i) for i in range(6000)]
+        stream = b"".join(wire.encode(m) for m in msgs)
+        assert len(stream) > wire.FrameDecoder._COMPACT_AT
+        decoder = wire.FrameDecoder()
+        decoded = decoder.feed(stream[:-2])
+        assert len(decoded) == len(msgs) - 1
+        assert decoder.pending_bytes == len(wire.encode(msgs[0])) - 2
+        assert len(decoder._buffer) < 64
+        decoded.extend(decoder.feed(stream[-2:]))
+        assert decoded == msgs
+        assert decoder.pending_bytes == 0
 
 
 class TestLedgerAccounting:
