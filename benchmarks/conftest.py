@@ -20,8 +20,13 @@ import pytest
 #: "small" (default) or "paper".
 SCALE = os.environ.get("CONTINU_BENCH_SCALE", "small")
 
-#: Where BENCH_*.json artifacts land (the repo root / CI working directory).
-ARTIFACT_DIR = Path(os.environ.get("CONTINU_BENCH_ARTIFACT_DIR", "."))
+#: The repository root — the anchor for artifact placement, so artifacts
+#: land in the same place no matter what directory pytest is invoked from.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Where BENCH_*.json artifacts land (default: the repo root, where the
+#: CI upload steps and .gitignore expect them).
+ARTIFACT_DIR = Path(os.environ.get("CONTINU_BENCH_ARTIFACT_DIR", _REPO_ROOT))
 
 
 def scaled(small_value, paper_value):
@@ -35,7 +40,7 @@ def write_bench_artifact(name: str, payload) -> Path:
     Benchmarks that produce data worth tracking across commits (wall
     times, continuity aggregates) emit it here in addition to their
     printed summary; ``CONTINU_BENCH_ARTIFACT_DIR`` redirects the output
-    directory (default: the working directory).
+    directory (default: the repository root).
     """
     ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     path = ARTIFACT_DIR / f"BENCH_{name}.json"

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from conftest import scaled, write_bench_artifact
 
+from repro.obs import ObsConfig
 from repro.runtime import LiveSwarm
 from repro.scenarios import builtin_scenario
 
@@ -36,14 +37,14 @@ SMALL_ROUNDS = 30
 PAPER_ROUNDS = 30
 
 
-def _run_one(num_nodes: int, rounds: int):
+def _run_one(num_nodes: int, rounds: int, obs: ObsConfig | None = None):
     spec = builtin_scenario("static").scaled(num_nodes=num_nodes, rounds=rounds)
     # Push the clock: ~25 ms of wall time per simulated second at 50 peers,
     # growing with swarm size.  Overload is expected and *wanted* here —
     # the adaptive dilation stretches the schedule to the sustainable
     # rate, which is exactly the ceiling this benchmark measures.
     time_scale = 0.0005 * num_nodes
-    return LiveSwarm(spec, time_scale=time_scale).run()
+    return LiveSwarm(spec, time_scale=time_scale, obs=obs).run()
 
 
 def test_bench_runtime(benchmark):
@@ -92,3 +93,46 @@ def test_bench_runtime(benchmark):
         assert entry["messages_per_s"] > 0, size
         assert entry["segments_delivered"] > 0, size
         assert entry["stable_continuity"] > 0.5, size
+
+
+def test_bench_runtime_obs_overhead(benchmark):
+    """The observability plane's throughput cost at the 50-peer point.
+
+    Runs the same swarm with the obs plane off and fully on (metrics +
+    every-16th-request tracing) and records the throughput ratio in
+    ``BENCH_runtime_obs.json``.  The issue's ≤5% budget is pinned as a
+    loose wall-clock floor here (shared CI boxes time-slice one core, so
+    a strict 0.95 gate would flake); the *strict* zero-overhead claim —
+    disabled obs is bit-identical — is pinned deterministically on the
+    virtual clock by tests/test_obs.py instead.
+    """
+    rounds = scaled(SMALL_ROUNDS, PAPER_ROUNDS)
+
+    def pair():
+        return {
+            "off": _run_one(50, rounds),
+            "on": _run_one(50, rounds, obs=ObsConfig()),
+        }
+
+    results = benchmark.pedantic(pair, rounds=1, iterations=1)
+    off, on = results["off"], results["on"]
+    ratio = on.messages_per_wall_second() / max(1.0, off.messages_per_wall_second())
+    artifact = {
+        "off_messages_per_s": round(off.messages_per_wall_second(), 1),
+        "on_messages_per_s": round(on.messages_per_wall_second(), 1),
+        "throughput_ratio": round(ratio, 4),
+        "on_spans": len((on.obs or {}).get("spans", [])),
+        "on_sampled_journeys": ((on.obs or {}).get("traces") or {}).get("sampled", 0),
+        "trace_sample": ObsConfig().trace_sample,
+    }
+    path = write_bench_artifact("runtime_obs", artifact)
+    print(
+        f"\nobs off {artifact['off_messages_per_s']:.0f} msg/s, "
+        f"on {artifact['on_messages_per_s']:.0f} msg/s "
+        f"(ratio {ratio:.3f}); artifact: {path}"
+    )
+    assert on.obs is not None and on.obs["traces"]["sampled"] > 0
+    assert on.stable_continuity() > 0.5
+    # Loose floor for noisy shared runners; the recorded ratio is the
+    # tracked number (target: ≥ 0.95 on a quiet machine).
+    assert ratio >= 0.5, artifact

@@ -65,8 +65,11 @@ def summarize_ledger(
     When a runtime :class:`~repro.runtime.transport.TransportSummary` (or
     anything with a compatible ``to_dict``) is given, its flow-control
     facts join the summary under ``transport_*`` keys — queue
-    high-watermarks, send stalls and shed frames belong next to the
-    traffic they throttled.
+    high-watermarks, send stalls, shed frames and buffer-map desyncs
+    (``transport_map_desyncs``) belong next to the traffic they
+    throttled.  Note the ledger's bit counts are *model* bits (declared
+    segment sizes); the physical byte count of the encoded frames lives
+    in ``RuntimeResult.bytes_on_wire``, not here.
     """
     summary: Dict[str, float] = {}
     for kind in ledger.bits:

@@ -29,6 +29,11 @@ Usage (installed as ``continustreaming-experiments``)::
     continustreaming-experiments runtime --parity-matrix --backend cluster --nodes 60
     continustreaming-experiments campaign --backend cluster --shards 2 --nodes 80
 
+    # observability plane (see docs/observability.md):
+    continustreaming-experiments runtime --obs --metrics-out obs.jsonl
+    continustreaming-experiments cluster --shards 2 --metrics-out obs.jsonl
+    continustreaming-experiments obs --in obs.jsonl
+
 ``--scale paper`` uses the paper's node counts (slow: thousands of nodes);
 ``--scale small`` (default) uses laptop-friendly sizes that preserve the
 qualitative shape.
@@ -47,6 +52,48 @@ from repro.experiments import fig10_11_prefetch, table_theory
 
 #: Round count used when ``--rounds`` is not given.
 DEFAULT_ROUNDS = 30
+
+
+def _obs_config(args: argparse.Namespace):
+    """The observability plane requested by the flags (``None`` = off).
+
+    ``--metrics-out PATH`` implies ``--obs`` — asking for the artifact
+    is asking for the instrumentation.
+    """
+    if not (args.obs or args.metrics_out):
+        return None
+    from repro.obs import ObsConfig
+
+    return ObsConfig(trace_sample=args.trace_sample)
+
+
+def _obs_lines(result, args: argparse.Namespace) -> List[str]:
+    """Summary lines + JSONL export for an obs-enabled run."""
+    obs = result.obs
+    if obs is None:
+        return []
+    from repro.obs import write_obs_jsonl
+
+    traces = obs.get("traces") or {}
+    lines = [
+        f"  obs: {len(obs.get('spans', []))} spans, "
+        f"{traces.get('sampled', 0)} sampled journeys "
+        f"({traces.get('played', 0)} played / {traces.get('missed', 0)} missed), "
+        f"{len(obs.get('postmortems', []))} postmortems"
+    ]
+    if args.metrics_out:
+        write_obs_jsonl(args.metrics_out, obs)
+        lines.append(f"  obs: metrics/trace JSONL written to {args.metrics_out}")
+    return lines
+
+
+def _obs_postmortems(result) -> str:
+    """Flight-recorder postmortems for a failure path ('' when none)."""
+    if result.obs is None:
+        return ""
+    from repro.obs import format_postmortems
+
+    return format_postmortems(result.obs)
 
 
 def _sizes_for(scale: str, paper: Sequence[int], small: Sequence[int]) -> List[int]:
@@ -255,6 +302,7 @@ def cmd_runtime(args: argparse.Namespace) -> str:
         (spec,) = load_scenarios(names)
     except (ValueError, RuntimeError) as exc:
         raise SystemExit(f"runtime error: {exc}") from exc
+    result = None
     if args.parity:
         report = run_parity(
             spec, num_nodes=nodes, rounds=rounds, seed=args.seed,
@@ -270,6 +318,7 @@ def cmd_runtime(args: argparse.Namespace) -> str:
             clock=args.clock,
             batching=not args.no_batch,
             delta_maps=not args.no_delta,
+            obs=_obs_config(args),
         ).run()
         continuity = result.stable_continuity()
         ledger = summarize_ledger(result.ledger, transport=result.transport)
@@ -292,9 +341,14 @@ def cmd_runtime(args: argparse.Namespace) -> str:
             f"(+{result.clock_dilation_s:.2f}s), "
             f"wall {result.wall_time_s:.2f}s",
         ]
+        lines.extend(_obs_lines(result, args))
         out = "\n".join(lines)
     if args.assert_continuity is not None and continuity < args.assert_continuity:
         print(out)
+        if result is not None:
+            postmortems = _obs_postmortems(result)
+            if postmortems:
+                print(postmortems, file=sys.stderr)
         raise SystemExit(
             f"runtime stable continuity {continuity:.4f} is below the "
             f"required {args.assert_continuity}"
@@ -329,6 +383,7 @@ def cmd_cluster(args: argparse.Namespace) -> str:
             time_scale=args.time_scale,
             batching=not args.no_batch,
             delta_maps=not args.no_delta,
+            obs=_obs_config(args),
         )
     except RuntimeError as exc:
         raise SystemExit(f"cluster error: {exc}") from exc
@@ -370,14 +425,33 @@ def cmd_cluster(args: argparse.Namespace) -> str:
             )
             + "  (* hosts the source)"
         )
+    lines.extend(_obs_lines(result, args))
     out = "\n".join(lines)
     if args.assert_continuity is not None and continuity < args.assert_continuity:
         print(out)
+        postmortems = _obs_postmortems(result)
+        if postmortems:
+            print(postmortems, file=sys.stderr)
         raise SystemExit(
             f"cluster stable continuity {continuity:.4f} is below the "
             f"required {args.assert_continuity}"
         )
     return out
+
+
+def cmd_obs(args: argparse.Namespace) -> str:
+    """Render a human-readable report from an obs JSONL artifact."""
+    from repro.obs import load_obs_jsonl, render_report
+
+    if not args.obs_in:
+        raise SystemExit(
+            "obs needs --in PATH (a JSONL written by --metrics-out)"
+        )
+    try:
+        obs = load_obs_jsonl(args.obs_in)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"obs error: could not read {args.obs_in}: {exc}") from exc
+    return render_report(obs)
 
 
 def _parity_matrix(
@@ -449,10 +523,11 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "runtime": cmd_runtime,
     "cluster": cmd_cluster,
+    "obs": cmd_obs,
 }
 
 #: Commands that sweep grids or run live swarms; excluded from ``all``.
-_EXCLUDED_FROM_ALL = ("campaign", "runtime", "cluster")
+_EXCLUDED_FROM_ALL = ("campaign", "runtime", "cluster", "obs")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -531,6 +606,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-delta", action="store_true",
         help="disable buffer-map delta gossip (every gossip ships the "
         "full map, the pre-delta wire behaviour)")
+    obs_group = parser.add_argument_group("observability options")
+    obs_group.add_argument(
+        "--obs", action="store_true",
+        help="enable the observability plane for runtime/cluster runs: "
+        "per-period metrics, sampled segment-journey traces and the "
+        "flight recorder (see docs/observability.md)")
+    obs_group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics/trace/flight JSONL to PATH "
+        "(implies --obs; render it later with the obs command)")
+    obs_group.add_argument(
+        "--trace-sample", type=int, default=16, metavar="N",
+        help="trace every Nth segment request per peer (default: 16; "
+        "1 traces everything)")
+    obs_group.add_argument(
+        "--in", dest="obs_in", default=None, metavar="PATH",
+        help="JSONL artifact to render with the obs command")
     cluster_group = parser.add_argument_group("cluster options")
     cluster_group.add_argument(
         "--shards", type=int, default=4,

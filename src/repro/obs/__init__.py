@@ -1,0 +1,43 @@
+"""The observability plane: metrics, segment-journey traces, flight recorder.
+
+Opt-in instrumentation for the live runtime and the cluster
+(``docs/observability.md``).  Pass an :class:`ObsConfig` to
+``LiveSwarm``/``run_swarm``/``run_cluster`` (CLI: ``--obs`` /
+``--metrics-out``) and the run exports ``RuntimeResult.obs``: a
+per-period metric registry, sampled request→ship→deliver→play/miss
+trace spans that cross shard sockets, and flight-recorder postmortems
+dumped on stalls, shard death or crashes.  Disabled (the default), the
+plane is the no-op :data:`NULL_OBS` and runs are bit-identical to an
+uninstrumented build.
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    merge_metrics,
+    merge_obs,
+    summarize_traces,
+)
+from repro.obs.recorder import NULL_OBS, NullObs, ObsConfig, ObsRecorder
+from repro.obs.report import (
+    format_postmortems,
+    load_obs_jsonl,
+    render_report,
+    write_obs_jsonl,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullObs",
+    "ObsConfig",
+    "ObsRecorder",
+    "format_postmortems",
+    "load_obs_jsonl",
+    "merge_metrics",
+    "merge_obs",
+    "render_report",
+    "summarize_traces",
+    "write_obs_jsonl",
+]

@@ -1,0 +1,202 @@
+"""Export surfaces for the obs plane: JSONL files and terminal reports.
+
+``--metrics-out`` writes one run's obs export as a line-oriented JSONL
+stream (one typed record per line — ``meta``, ``metric``, ``span``,
+``flight``, ``postmortem``, ``summary``) that tails cleanly and loads
+back with :func:`load_obs_jsonl`; ``continustreaming-experiments obs
+--in run.jsonl`` renders it with :func:`render_report`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import summarize_traces
+
+__all__ = [
+    "write_obs_jsonl",
+    "load_obs_jsonl",
+    "render_report",
+    "format_postmortems",
+]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def write_obs_jsonl(path: Union[str, Path], obs: Dict[str, Any]) -> Path:
+    """Write an obs export dict (``RuntimeResult.obs``) as typed JSONL."""
+    path = Path(path)
+    metrics = obs.get("metrics", {})
+    with path.open("w", encoding="utf-8") as fh:
+        meta = {
+            "type": "meta",
+            "shard": obs.get("shard"),
+            "shards": obs.get("shards"),
+            "spans_dropped": obs.get("spans_dropped", 0),
+        }
+        fh.write(json.dumps(meta, sort_keys=True) + "\n")
+        for name, points in sorted(metrics.get("series", {}).items()):
+            for period, value in points:
+                fh.write(
+                    json.dumps(
+                        {"type": "metric", "name": name, "period": period, "value": value},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        for span in obs.get("spans", ()):
+            fh.write(json.dumps({"type": "span", **span}, sort_keys=True) + "\n")
+        for event in obs.get("flight", ()):
+            fh.write(json.dumps({"type": "flight", **event}, sort_keys=True) + "\n")
+        for dump in obs.get("postmortems", ()):
+            fh.write(json.dumps({"type": "postmortem", **dump}, sort_keys=True) + "\n")
+        summary = {
+            "type": "summary",
+            "counters": metrics.get("counters", {}),
+            "gauges": metrics.get("gauges", {}),
+            "histograms": metrics.get("histograms", {}),
+            "traces": obs.get("traces", {}),
+        }
+        fh.write(json.dumps(summary, sort_keys=True) + "\n")
+    return path
+
+
+def load_obs_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
+    """Reconstruct an obs export dict from a :func:`write_obs_jsonl` file."""
+    obs: Dict[str, Any] = {
+        "shard": None,
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}, "series": {}},
+        "spans": [],
+        "flight": [],
+        "postmortems": [],
+        "spans_dropped": 0,
+        "traces": {},
+    }
+    series: Dict[str, List[List[float]]] = {}
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type", None)
+            if kind == "meta":
+                obs["shard"] = record.get("shard")
+                if record.get("shards") is not None:
+                    obs["shards"] = record["shards"]
+                obs["spans_dropped"] = record.get("spans_dropped", 0)
+            elif kind == "metric":
+                series.setdefault(record["name"], []).append(
+                    [record["period"], record["value"]]
+                )
+            elif kind == "span":
+                obs["spans"].append(record)
+            elif kind == "flight":
+                obs["flight"].append(record)
+            elif kind == "postmortem":
+                obs["postmortems"].append(record)
+            elif kind == "summary":
+                obs["metrics"]["counters"] = record.get("counters", {})
+                obs["metrics"]["gauges"] = record.get("gauges", {})
+                obs["metrics"]["histograms"] = record.get("histograms", {})
+                obs["traces"] = record.get("traces", {})
+    obs["metrics"]["series"] = series
+    if not obs["traces"] and obs["spans"]:
+        obs["traces"] = summarize_traces(obs["spans"])
+    return obs
+
+
+def _sparkline(values: List[float], width: int = 32) -> str:
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by striding so the line still spans the whole run.
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[0] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int((v - lo) * scale)] for v in values)
+
+
+def render_report(obs: Dict[str, Any]) -> str:
+    """A terminal report: metric sparklines, trace summary, postmortems."""
+    lines: List[str] = []
+    metrics = obs.get("metrics", {})
+    series = metrics.get("series", {})
+    if series:
+        lines.append("timeseries (per period)")
+        width = max(len(name) for name in series)
+        for name in sorted(series):
+            values = [v for _, v in series[name]]
+            if not values:
+                continue
+            lines.append(
+                f"  {name:<{width}}  {_sparkline(values)}  "
+                f"last={values[-1]:.4g} min={min(values):.4g} max={max(values):.4g}"
+            )
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]:.6g}")
+    hists = metrics.get("histograms", {})
+    if hists:
+        lines.append("histograms")
+        width = max(len(name) for name in hists)
+        for name in sorted(hists):
+            h = hists[name]
+            mean = h["sum"] / h["count"] if h.get("count") else 0.0
+            lines.append(
+                f"  {name:<{width}}  n={h.get('count', 0)} mean={mean:.4g} "
+                f"min={h.get('min', 0.0):.4g} max={h.get('max', 0.0):.4g}"
+            )
+    traces = obs.get("traces") or {}
+    if traces.get("sampled"):
+        lines.append(
+            "traces: {sampled} sampled journeys — {played} played, {missed} missed, "
+            "{open} open, {cross_shard} cross-shard".format(**traces)
+        )
+        if traces.get("miss_causes"):
+            causes = ", ".join(f"{k}={v}" for k, v in sorted(traces["miss_causes"].items()))
+            lines.append(f"  miss causes: {causes}")
+        rtd = traces.get("request_to_deliver_s")
+        if rtd:
+            lines.append(
+                f"  request→deliver: mean={rtd['mean']:.3f}s "
+                f"p95={rtd['p95']:.3f}s max={rtd['max']:.3f}s"
+            )
+    dropped = obs.get("spans_dropped", 0)
+    if dropped:
+        lines.append(f"  ({dropped} spans dropped at the per-process cap)")
+    pm = format_postmortems(obs)
+    if pm:
+        lines.append(pm)
+    if not lines:
+        lines.append("(empty obs export)")
+    return "\n".join(lines)
+
+
+def format_postmortems(obs: Optional[Dict[str, Any]], tail: int = 12) -> str:
+    """The flight-recorder dumps, rendered for a job log (empty if none)."""
+    if not obs or not obs.get("postmortems"):
+        return ""
+    lines: List[str] = []
+    for dump in obs["postmortems"]:
+        shard = dump.get("shard")
+        where = f" [shard {shard}]" if shard is not None else ""
+        lines.append(f"postmortem{where} t={dump.get('t', 0.0):.2f}: {dump.get('reason')}")
+        events = dump.get("events", [])
+        for event in events[-tail:]:
+            extras = {
+                k: v for k, v in event.items() if k not in ("event", "t", "shard")
+            }
+            detail = " ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+            lines.append(f"    t={event.get('t', 0.0):>8.2f}  {event.get('event'):<18} {detail}".rstrip())
+        if len(events) > tail:
+            lines.append(f"    (… {len(events) - tail} earlier events in the ring)")
+    return "\n".join(lines)

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import ObsConfig, merge_obs
 from repro.runtime.cluster.links import LinkConfig
 from repro.runtime.cluster.worker import ShardResult, run_shard_worker
 from repro.runtime.swarm import DEFAULT_TIME_SCALE, RuntimeResult
@@ -104,6 +105,9 @@ class ClusterConfig:
     #: :class:`~repro.runtime.swarm.LiveSwarm`).
     batching: bool = True
     delta_maps: bool = True
+    #: Observability plane (:mod:`repro.obs`), broadcast to every shard;
+    #: ``None`` keeps the zero-overhead no-op recorder.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -247,6 +251,7 @@ class ClusterCoordinator:
             "token": self.token,
             "batching": cfg.batching,
             "delta_maps": cfg.delta_maps,
+            "obs": cfg.obs,
         }
         try:
             for shard in range(cfg.shards):
@@ -436,6 +441,7 @@ def merge_shard_results(
             for r in results
         ],
     }
+    obs = merge_obs([r.obs for r in results])
     return RuntimeResult(
         system=spec.system,
         config=first.config,
@@ -456,6 +462,7 @@ def merge_shard_results(
         clock_dilations=max(r.clock_dilations for r in results),
         shards=shards,
         cluster=cluster,
+        obs=obs,
     )
 
 
@@ -468,6 +475,7 @@ def run_cluster(
     link: Optional[LinkConfig] = None,
     batching: bool = True,
     delta_maps: bool = True,
+    obs: Optional[ObsConfig] = None,
 ) -> RuntimeResult:
     """Convenience wrapper: run ``spec`` as a ``shards``-process cluster."""
     config = ClusterConfig(
@@ -477,5 +485,6 @@ def run_cluster(
         link=link if link is not None else LinkConfig(),
         batching=batching,
         delta_maps=delta_maps,
+        obs=obs,
     )
     return ClusterCoordinator(spec, rounds=rounds, config=config).run()

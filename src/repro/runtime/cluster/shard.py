@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Protocol, Tuple
 
+from repro.obs import ObsConfig
 from repro.runtime.cluster.links import Link, LinkConfig, SocketLink, SocketLinkStats
 from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm
 from repro.runtime.transport import TransportConfig
@@ -74,6 +75,7 @@ class ShardSwarm(LiveSwarm):
         link_config: Optional[LinkConfig] = None,
         batching: bool = True,
         delta_maps: bool = True,
+        obs: Optional[ObsConfig] = None,
     ) -> None:
         if not (0 <= shard_index < num_shards):
             raise ValueError(f"shard_index {shard_index} outside [0, {num_shards})")
@@ -85,7 +87,11 @@ class ShardSwarm(LiveSwarm):
             clock="wall",
             batching=batching,
             delta_maps=delta_maps,
+            obs=obs,
         )
+        # Spans/flight events from this process carry the shard tag, so
+        # the coordinator's merged view can attribute per-hop timestamps.
+        self.obs.bind_shard(shard_index)
         self.shard_index = shard_index
         self.num_shards = num_shards
         self.link_config = link_config if link_config is not None else LinkConfig()
@@ -118,6 +124,10 @@ class ShardSwarm(LiveSwarm):
         if owner == self.shard_index:
             return self.loopback
         return self.links[owner]
+
+    def hop_of(self, dst: int) -> Optional[int]:
+        owner = self.shard_of(dst)
+        return None if owner == self.shard_index else owner
 
     def receive_routed(self, src: int, dst: int, payload: bytes, data: bool) -> None:
         """A peer frame arrived over a socket link: deliver it locally.
@@ -156,6 +166,7 @@ class ShardSwarm(LiveSwarm):
         reset to a full window *now*, while the link attempts recovery.
         Counted per reset in the transport stats (``link_resets``).
         """
+        self.obs.flight("link_interrupted", remote_shard=shard)
         remote_ids = self.shard_ring_ids(shard)
         for peer in self.peers.values():
             for rid in remote_ids:
@@ -164,6 +175,7 @@ class ShardSwarm(LiveSwarm):
     def on_link_restored(self, shard: int) -> None:
         """The stream healed: nothing to repair — windows were reset on
         the way down, so both sides meet fresh flow-control state."""
+        self.obs.flight("link_restored", remote_shard=shard)
 
     def on_link_lost(self, shard: int) -> None:
         """The link stayed down past its recovery budget: presume the
@@ -180,6 +192,10 @@ class ShardSwarm(LiveSwarm):
         if shard in self.lost_shards:
             return
         self.lost_shards.add(shard)
+        # A SIGKILLed shard cannot dump its own flight ring; the
+        # survivors' postmortems are the readable record of its death.
+        self.obs.flight("link_lost", remote_shard=shard)
+        self.obs.postmortem(f"shard {shard} presumed dead (link recovery exhausted)")
         for rid in self.shard_ring_ids(shard):
             node = self.manager.nodes.get(rid)
             if node is not None and node.alive:

@@ -78,6 +78,8 @@ class ShardResult:
     lost_shards: List[int] = field(default_factory=list)
     #: Physical bytes this shard's loopback tail delivered (post-batch).
     bytes_on_wire: int = 0
+    #: This shard's exported observability plane (``None`` when disabled).
+    obs: Optional[Dict[str, Any]] = None
 
 
 class _Mailbox:
@@ -266,6 +268,7 @@ class ShardWorker:
             link_config=self.link_config,
             batching=payload.get("batching", True),
             delta_maps=payload.get("delta_maps", True),
+            obs=payload.get("obs"),
         )
         swarm.build()
         self.hello = wire.ShardHello(
@@ -323,6 +326,7 @@ class ShardWorker:
                     socket=swarm.socket_summary(),
                     lost_shards=sorted(swarm.lost_shards),
                     bytes_on_wire=result.bytes_on_wire,
+                    obs=result.obs,
                 ),
             )
         )

@@ -42,8 +42,9 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.core.continu import ContinuStreamingNode
 from repro.core.node import StreamingNode
@@ -165,6 +166,13 @@ class LivePeer:
         self._tasks: List[asyncio.Task] = []
         self.ticks_run = 0
         self.stopped = False
+        #: The swarm's observability plane (the no-op ``NULL_OBS`` when
+        #: disabled — every instrumented site guards on ``obs.enabled`` /
+        #: ``obs.tracing`` so the disabled cost is one attribute read).
+        self.obs = swarm.obs
+        #: Requester-side journey state of sampled traces, keyed by
+        #: segment id: resolved to play/miss at the period boundary.
+        self._trace_live: Dict[int, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------ identity
     @property
@@ -231,7 +239,24 @@ class LivePeer:
         frame = wire.encode(msg)
         if isinstance(msg, wire.SegmentData):
             if not self.send_windows.acquire(dst, (frame, entry)):
+                if msg.trace_id and self.obs.tracing:
+                    # Credit-starved: parked in the pending queue; the
+                    # deliver span's gap attributes the wait.
+                    self.obs.span(
+                        "queue", msg.trace_id, self.peer_id, msg.segment_id, dst=dst
+                    )
                 return
+            if msg.trace_id and self.obs.tracing:
+                via = self.swarm.hop_of(dst)
+                if via is None:
+                    self.obs.span(
+                        "ship", msg.trace_id, self.peer_id, msg.segment_id, dst=dst
+                    )
+                else:
+                    self.obs.span(
+                        "ship", msg.trace_id, self.peer_id, msg.segment_id,
+                        dst=dst, via_shard=via,
+                    )
             self._ship(dst, frame, entry, data=True)
             return
         self._ship(dst, frame, entry, data=False)
@@ -436,6 +461,11 @@ class LivePeer:
 
     def _on_segment_request(self, msg: wire.SegmentRequest) -> None:
         node = self.node
+        if msg.trace_id and self.obs.tracing:
+            self.obs.span(
+                "recv_request", msg.trace_id, self.peer_id, msg.segment_id,
+                requester=msg.sender,
+            )
         if msg.prefetch and isinstance(node, ContinuStreamingNode):
             available = node.serves_segment(msg.segment_id)
         else:
@@ -443,13 +473,15 @@ class LivePeer:
         if not available or self.outbound_tokens < 1.0:
             # Saturated uplink (or stale advertisement): refuse explicitly
             # so the requester can reroute within the period, like the
-            # simulator's fallback-supplier pass.
+            # simulator's fallback-supplier pass.  A traced request's id
+            # rides the refusal back so the journey records the cause.
             self._send(
                 msg.sender,
                 wire.SegmentNack(
                     sender=self.peer_id,
                     segment_id=msg.segment_id,
                     prefetch=msg.prefetch,
+                    trace_id=msg.trace_id,
                 ),
             )
             return
@@ -460,12 +492,22 @@ class LivePeer:
                 segment_id=msg.segment_id,
                 size_bits=self.config.segment_bits,
                 prefetch=msg.prefetch,
+                trace_id=msg.trace_id,
             ),
         )
 
     def _on_segment_data(self, msg: wire.SegmentData) -> None:
         node = self.node
         now = self.swarm.sim_now()
+        if msg.trace_id and self.obs.tracing:
+            self.obs.span(
+                "deliver", msg.trace_id, self.peer_id, msg.segment_id,
+                supplier=msg.sender,
+            )
+            state = self._trace_live.get(msg.segment_id)
+            if state is not None and state["tid"] == msg.trace_id:
+                state["state"] = "delivered"
+                state["t_deliver"] = now
         accepted = node.receive_segment(msg.segment_id, prefetched=msg.prefetch)
         if msg.prefetch and isinstance(node, ContinuStreamingNode):
             deadline = self._prefetch_deadlines.pop(
@@ -481,6 +523,12 @@ class LivePeer:
         """Reroute a refused pull to the best untried partner advertising it."""
         node = self.node
         sid = msg.segment_id
+        if msg.trace_id and self.obs.tracing:
+            self.obs.span("nack", msg.trace_id, self.peer_id, sid, supplier=msg.sender)
+            state = self._trace_live.get(sid)
+            if state is not None and state["tid"] == msg.trace_id:
+                state["state"] = "nacked"
+                state["nacks"] = state.get("nacks", 0) + 1
         if msg.prefetch:
             # The located holder refused (budget spent); the next period's
             # prediction re-triggers the lookup if the segment still matters.
@@ -501,7 +549,16 @@ class LivePeer:
                 best_rate, fallback = rate, nbr
         if fallback is None:
             return
-        self._send(fallback, wire.SegmentRequest(sender=self.peer_id, segment_id=sid))
+        # The reroute keeps the original journey's trace id, so the whole
+        # request → nack → retry → deliver chain reads as one trace.
+        if msg.trace_id and self.obs.tracing:
+            self.obs.span("reroute", msg.trace_id, self.peer_id, sid, dst=fallback)
+        self._send(
+            fallback,
+            wire.SegmentRequest(
+                sender=self.peer_id, segment_id=sid, trace_id=msg.trace_id
+            ),
+        )
 
     def _on_handover(self, msg: wire.Handover) -> None:
         node = self.node
@@ -639,12 +696,7 @@ class LivePeer:
         self._prefetch_deadlines[pending.segment_id] = node.deadline_of(
             pending.segment_id, now=now
         )
-        self._send(
-            supplier,
-            wire.SegmentRequest(
-                sender=self.peer_id, segment_id=pending.segment_id, prefetch=True
-            ),
-        )
+        self._traced_request(supplier, pending.segment_id, "prefetch", prefetch=True)
 
     def _sweep_lookups(self) -> None:
         """Decide stale lookups with whatever responses arrived (timeout)."""
@@ -744,6 +796,42 @@ class LivePeer:
         )
         node.observe_deliveries(self._delivered)
         self._delivered = {}
+        if self._trace_live and self.obs.tracing:
+            self._settle_traces(now)
+
+    def _settle_traces(self, now: float) -> None:
+        """Resolve sampled journeys the playback pointer has passed.
+
+        A traced segment behind ``play_id`` either played (delivered in
+        time) or missed its deadline; a miss carries the requester-side
+        attribution the journey's spans support: ``credit_starvation``
+        (the supplier NACKed and no retry landed), ``delivered_late``
+        (the data arrived after the deadline — queueing), or
+        ``lost_or_queued`` (requested, never answered: the frame or its
+        reply died on the wire or sat in a queue past the period).
+        """
+        node = self.node
+        if not node.playback.started:
+            return
+        play_id = node.playback.play_id
+        obs = self.obs
+        for sid in [s for s in self._trace_live if s < play_id]:
+            state = self._trace_live.pop(sid)
+            tid = state["tid"]
+            if state["state"] == "delivered":
+                deadline = state.get("deadline")
+                t_deliver = state.get("t_deliver", now)
+                if deadline is not None and t_deliver > deadline:
+                    obs.span(
+                        "miss", tid, self.peer_id, sid,
+                        cause="delivered_late", late_s=round(t_deliver - deadline, 4),
+                    )
+                else:
+                    obs.span("play", tid, self.peer_id, sid)
+            elif state["state"] == "nacked":
+                obs.span("miss", tid, self.peer_id, sid, cause="credit_starvation")
+            else:
+                obs.span("miss", tid, self.peer_id, sid, cause="lost_or_queued")
 
     def _period_start(self, tick: int) -> None:
         """Boundary work opening period ``tick``: budgets and gossip.
@@ -765,14 +853,14 @@ class LivePeer:
                 self.known_newest, self.swarm.source.newest_segment_id
             )
             self.outbound_tokens = node.outbound_rate * cfg.scheduling_period
-            self._gossip_buffer_map()
+            self._timed_gossip()
             return
         node.begin_round()
         self._nack_tried = {}
         self._requested = set()
         self._maps_this_period = set()
         self.outbound_tokens = node.outbound_rate * cfg.scheduling_period
-        self._gossip_buffer_map()
+        self._timed_gossip()
         loop = asyncio.get_running_loop()
         scaled = cfg.scheduling_period * self.swarm.time_scale
         remaining = self.swarm.wall_deadline_of(tick + 1) - loop.time()
@@ -823,12 +911,28 @@ class LivePeer:
             tick,
         )
 
+    def _timed_gossip(self) -> None:
+        """Boundary gossip, with the phase timed when obs is enabled."""
+        obs = self.obs
+        if not obs.enabled:
+            self._gossip_buffer_map()
+            return
+        t0 = time.perf_counter()
+        self._gossip_buffer_map()
+        obs.observe("phase_gossip_s", time.perf_counter() - t0)
+
     def _mid_period(self) -> None:
         """Mid-period work: Algorithm 1 scheduling + urgent-line lookups."""
         node = self.node
         if self.stopped or not node.alive:
             return
-        self._schedule_requests()
+        obs = self.obs
+        if obs.enabled:
+            t0 = time.perf_counter()
+            self._schedule_requests()
+            obs.observe("phase_schedule_s", time.perf_counter() - t0)
+        else:
+            self._schedule_requests()
         self._sweep_lookups()
         if self.swarm.prediction_enabled and isinstance(node, ContinuStreamingNode):
             if self.known_newest >= 0:
@@ -838,6 +942,16 @@ class LivePeer:
                         self._start_lookup(sid)
 
     def _rescue_pass(self, tick: int) -> None:
+        """Late-period rescue, with the phase timed when obs is enabled."""
+        obs = self.obs
+        if not obs.enabled:
+            self._rescue_body(tick)
+            return
+        t0 = time.perf_counter()
+        self._rescue_body(tick)
+        obs.observe("phase_rescue_s", time.perf_counter() - t0)
+
+    def _rescue_body(self, tick: int) -> None:
         """Late-period rescue of imminently needed, partner-held segments."""
         node = self.node
         if self.stopped or not node.alive or not node.playback.started:
@@ -864,7 +978,7 @@ class LivePeer:
             if best is None:
                 continue
             self._requested.add(sid)
-            self._send(best, wire.SegmentRequest(sender=self.peer_id, segment_id=sid))
+            self._traced_request(best, sid, "rescue")
 
     def _newest_or_none(self) -> Optional[int]:
         return self.known_newest if self.known_newest >= 0 else None
@@ -944,10 +1058,44 @@ class LivePeer:
         for request in requests:
             self._delivered.setdefault(request.supplier_id, 0)
             self._requested.add(request.segment_id)
-            self._send(
-                request.supplier_id,
-                wire.SegmentRequest(sender=self.peer_id, segment_id=request.segment_id),
-            )
+            self._traced_request(request.supplier_id, request.segment_id, "schedule")
+
+    def _traced_request(
+        self, dst: int, sid: int, cause: str, prefetch: bool = False
+    ) -> None:
+        """Originate one segment request, sampling it into the trace plane.
+
+        A sampled request opens a journey: the trace id rides the frame
+        (and the supplier's reply), the requester tracks the journey's
+        state, and the period boundary resolves it to play/miss with a
+        cause (:meth:`_settle_traces`).  Sampling is counter-based — no
+        RNG draw — so traced runs stay deterministic on the virtual clock.
+        """
+        tid = 0
+        obs = self.obs
+        if obs.tracing:
+            tid = obs.sample_trace(self.peer_id)
+            if tid:
+                node = self.node
+                deadline = (
+                    node.deadline_of(sid, now=self.swarm.sim_now())
+                    if isinstance(node, ContinuStreamingNode)
+                    else None
+                )
+                live = self._trace_live
+                live[sid] = {"tid": tid, "state": "requested", "deadline": deadline}
+                if len(live) > 512:
+                    live.pop(min(live))
+                obs.span(
+                    "request", tid, self.peer_id, sid,
+                    dst=dst, cause=cause, deadline=deadline,
+                )
+        self._send(
+            dst,
+            wire.SegmentRequest(
+                sender=self.peer_id, segment_id=sid, prefetch=prefetch, trace_id=tid
+            ),
+        )
 
 
 #: Reader-loop dispatch table, keyed by decoded message type.  PONG is

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.net.message import MessageKind, MessageLedger
+from repro.obs import NULL_OBS, ObsConfig, ObsRecorder
 from repro.runtime.clock import run_on_virtual_clock
 from repro.runtime.cluster.links import Link, LoopbackLink
 from repro.runtime.peer import LivePeer
@@ -112,6 +113,11 @@ class RuntimeResult:
     #: Physical bytes handed to links (post-batching, post-delta) — the
     #: fast path's savings show up here, never in the paper ledger.
     bytes_on_wire: int = 0
+    #: Observability export (metrics series, trace spans, flight-recorder
+    #: postmortems — see ``docs/observability.md``); ``None`` unless the
+    #: run was started with an :class:`~repro.obs.ObsConfig`.  Plain dict
+    #: so the result stays picklable.
+    obs: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ metrics
     def continuity_series(self) -> List[float]:
@@ -165,6 +171,10 @@ class LiveSwarm:
             TransportConfig` defaults.
         clock: ``"wall"`` (real time) or ``"virtual"`` (deterministic
             virtual time, no wall waiting — the campaign/parity backend).
+        obs: observability plane config (:class:`~repro.obs.ObsConfig`);
+            ``None`` (the default) installs the no-op recorder, leaves
+            ``RuntimeResult.obs`` as ``None`` and keeps the run
+            bit-identical to an uninstrumented build.
     """
 
     def __init__(
@@ -176,6 +186,7 @@ class LiveSwarm:
         clock: str = "wall",
         batching: bool = True,
         delta_maps: bool = True,
+        obs: Optional[ObsConfig] = None,
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
@@ -232,6 +243,12 @@ class LiveSwarm:
         self._stretch = 1.0
         self.clock_dilation_s = 0.0
         self.clock_dilations = 0
+        #: The observability plane (:mod:`repro.obs`): the no-op
+        #: :data:`~repro.obs.NULL_OBS` unless an ``ObsConfig`` was given,
+        #: so disabled instrumentation costs one attribute read per site.
+        self.obs = ObsRecorder(obs) if obs is not None else NULL_OBS
+        self.obs.bind_clock(self.sim_now)
+        self._stall_dumped = False
 
     # ======================================================================= build
     def build(self) -> "LiveSwarm":
@@ -352,6 +369,19 @@ class LiveSwarm:
             self._wall_offset += extra
             self.clock_dilation_s += extra
             self.clock_dilations += 1
+            obs = self.obs
+            if obs.enabled:
+                obs.flight(
+                    "dilate", stretch=round(self._stretch, 3), added_s=round(extra, 4)
+                )
+                if self._stretch >= self.MAX_STRETCH and not self._stall_dumped:
+                    # Stall detection: the AIMD controller pinned at its
+                    # ceiling means the loop cannot keep the schedule.
+                    self._stall_dumped = True
+                    obs.postmortem(
+                        f"schedule stretch hit MAX_STRETCH={self.MAX_STRETCH} "
+                        "(overload stall)"
+                    )
 
     # ---------------------------------------------------------------- transport
     def deliver(self, src: int, dst: int, frame: bytes, data: bool = False) -> None:
@@ -377,6 +407,14 @@ class LiveSwarm:
         """The link that carries frames towards ``dst`` (loopback here)."""
         return self.loopback
 
+    def hop_of(self, dst: int) -> Optional[int]:
+        """Remote shard a frame towards ``dst`` routes through, or ``None``.
+
+        Observability-only (the ``via_shard`` tag on trace ship spans);
+        single-process swarms deliver everything locally.
+        """
+        return None
+
     # ======================================================================== run
     def run(self) -> RuntimeResult:
         """Build, run to completion and return the collected result.
@@ -397,12 +435,41 @@ class LiveSwarm:
         self._start_wall = loop.time() if self.start_at is None else self.start_at
         for peer in self.peers.values():
             peer.start()
+        # The lag probe only makes sense on the wall clock (virtual time
+        # cannot lag), and its extra timers would perturb the virtual
+        # loop's deterministic callback order — obs-enabled virtual runs
+        # must stay identical to disabled ones.
+        probe = (
+            loop.create_task(self._obs_lag_probe())
+            if self.obs.enabled and self.clock != "virtual"
+            else None
+        )
         try:
             await self._churn_loop()
+        except Exception as exc:
+            # Crash postmortem: dump the flight ring before unwinding.
+            self.obs.postmortem(f"unhandled exception: {exc!r}")
+            raise
         finally:
+            if probe is not None:
+                probe.cancel()
+                try:
+                    await probe
+                except asyncio.CancelledError:
+                    pass
             await self._shutdown()
         wall_time = time.perf_counter() - wall_start
         return self._collect(wall_time)
+
+    async def _obs_lag_probe(self) -> None:
+        """Sample event-loop lag: how late a twice-per-period timer fires."""
+        loop = asyncio.get_running_loop()
+        interval = 0.5 * self.config.scheduling_period * self.time_scale
+        while True:
+            before = loop.time()
+            await asyncio.sleep(interval)
+            lag = loop.time() - before - interval
+            self.obs.observe("event_loop_lag_s", max(0.0, lag))
 
     async def _churn_loop(self) -> None:
         """Fire the churn schedule at every period boundary, then stop.
@@ -427,6 +494,8 @@ class LiveSwarm:
             await self._boundary_sync(
                 round_index, max(0.0, asyncio.get_running_loop().time() - deadline)
             )
+            if self.obs.enabled:
+                self._obs_snapshot(round_index)
             if churn.is_static or round_index == self.rounds - 1:
                 continue
             event = churn.step(
@@ -464,6 +533,26 @@ class LiveSwarm:
             await asyncio.sleep(step)
             waited += step
 
+    def _obs_snapshot(self, round_index: int) -> None:
+        """Sample swarm-wide gauges into the per-period metric series."""
+        inbox_total = inbox_max = credit_pending = 0
+        for peer in self.peers.values():
+            depth = len(peer.inbox)
+            inbox_total += depth
+            if depth > inbox_max:
+                inbox_max = depth
+            credit_pending += peer.send_windows.pending_count()
+        metrics = self.obs.metrics
+        metrics.set_gauge("inbox_depth_total", inbox_total)
+        metrics.set_gauge("inbox_depth_max", inbox_max)
+        metrics.set_gauge("credit_pending_total", credit_pending)
+        metrics.set_gauge("dilation_stretch", self._stretch)
+        metrics.set_gauge("clock_dilation_s", self.clock_dilation_s)
+        metrics.set_gauge("peers_live", len(self.peers))
+        metrics.set_gauge("messages_sent", self.messages_sent)
+        metrics.set_gauge("bytes_on_wire", self.bytes_on_wire)
+        self.obs.snapshot(round_index)
+
     async def _boundary_sync(self, round_index: int, own_lateness: float) -> None:
         """Fold this boundary's lateness into the schedule dilation.
 
@@ -492,6 +581,7 @@ class LiveSwarm:
             await peer.stop()
             self.retired_peers.append(self.peers.pop(node_id))
             self.peers_left += 1
+            self.obs.flight("peer_left", peer=node_id, graceful=graceful)
         # Dead links keep no flow-control state: credits in flight to the
         # departed peer are unrecoverable, and a joiner admitted later
         # under a recycled ring id must start with a full window.
@@ -507,6 +597,7 @@ class LiveSwarm:
         peer.start()
         peer.announce_join()
         self.peers_joined += 1
+        self.obs.flight("peer_joined", peer=ring_id)
 
     async def _shutdown(self) -> None:
         """Graceful shutdown: stop every task and wait for it to unwind."""
@@ -571,6 +662,7 @@ class LiveSwarm:
             clock_dilation_s=self.clock_dilation_s,
             clock_dilations=self.clock_dilations,
             bytes_on_wire=self.bytes_on_wire,
+            obs=self.obs.export(),
         )
 
 
@@ -582,6 +674,7 @@ def run_swarm(
     clock: str = "wall",
     batching: bool = True,
     delta_maps: bool = True,
+    obs: Optional[ObsConfig] = None,
 ) -> RuntimeResult:
     """Convenience wrapper: build and run one live swarm to completion."""
     return LiveSwarm(
@@ -592,4 +685,5 @@ def run_swarm(
         clock=clock,
         batching=batching,
         delta_maps=delta_maps,
+        obs=obs,
     ).run()

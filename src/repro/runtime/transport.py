@@ -159,7 +159,8 @@ class TransportSummary:
             f"send stalls {self.send_stalls}, "
             f"shed {self.inbox_dropped_data}+{self.pending_shed} data / "
             f"{self.inbox_dropped_control} control, "
-            f"credits granted {self.credits_granted}"
+            f"credits granted {self.credits_granted}, "
+            f"map desyncs {self.map_desyncs}"
         )
 
 

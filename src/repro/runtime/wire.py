@@ -209,11 +209,20 @@ class BufferMapDelta:
 
 @dataclass(frozen=True)
 class SegmentRequest:
-    """Pull request for one segment (``prefetch`` = on-demand path)."""
+    """Pull request for one segment (``prefetch`` = on-demand path).
+
+    ``trace_id`` is the observability plane's sampled journey id
+    (:mod:`repro.obs`): when non-zero it rides the frame as an 8-byte
+    tail behind flag bit 1 and is echoed by the supplier's
+    :class:`SegmentData`/:class:`SegmentNack` reply.  A zero trace id
+    encodes byte-identically to a pre-obs frame, and the tail is
+    physical-only — :func:`ledger_entry` never charges it.
+    """
 
     sender: int
     segment_id: int
     prefetch: bool = False
+    trace_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -224,6 +233,7 @@ class SegmentData:
     segment_id: int
     size_bits: int
     prefetch: bool = False
+    trace_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -238,6 +248,7 @@ class SegmentNack:
     sender: int
     segment_id: int
     prefetch: bool = False
+    trace_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -398,6 +409,11 @@ _REQ_FRAME = struct.Struct(">IBIIB")  # len, kind, sender, segment, flags
 _REQ_BODY = struct.Struct(">IIB")
 _DATA_FRAME = struct.Struct(">IBIIIB")
 _DATA_BODY = struct.Struct(">IIIB")
+#: Optional 8-byte trace-id tail on segment request/data/nack frames
+#: (flag bit 1).  Physical-only: absent when the trace id is zero, never
+#: ledger-charged (:mod:`repro.obs` segment-journey tracing).
+_TRACE_TAIL = struct.Struct(">Q")
+_TRACED_FLAG = 0x2
 _LOOKUP_FRAME = struct.Struct(">IBIIIH")
 _LOOKUP_BODY = struct.Struct(">IIIH")
 _RESP_FRAME = struct.Struct(">IBIIIIBfH")
@@ -501,40 +517,68 @@ def _enc_map_delta(msg: BufferMapDelta) -> bytes:
 
 def _enc_request(msg: SegmentRequest) -> bytes:
     try:
-        return _REQ_FRAME.pack(
-            1 + _REQ_BODY.size,
+        if not msg.trace_id:
+            return _REQ_FRAME.pack(
+                1 + _REQ_BODY.size,
+                WireKind.SEGMENT_REQUEST,
+                msg.sender,
+                msg.segment_id,
+                1 if msg.prefetch else 0,
+            )
+        head = _REQ_FRAME.pack(
+            1 + _REQ_BODY.size + _TRACE_TAIL.size,
             WireKind.SEGMENT_REQUEST,
             msg.sender,
             msg.segment_id,
-            1 if msg.prefetch else 0,
+            (1 if msg.prefetch else 0) | _TRACED_FLAG,
         )
+        return head + _TRACE_TAIL.pack(msg.trace_id)
     except struct.error as exc:
         raise WireError(f"segment-request field out of range: {exc}") from exc
 
 
 def _enc_nack(msg: SegmentNack) -> bytes:
     try:
-        return _REQ_FRAME.pack(
-            1 + _REQ_BODY.size,
+        if not msg.trace_id:
+            return _REQ_FRAME.pack(
+                1 + _REQ_BODY.size,
+                WireKind.SEGMENT_NACK,
+                msg.sender,
+                msg.segment_id,
+                1 if msg.prefetch else 0,
+            )
+        head = _REQ_FRAME.pack(
+            1 + _REQ_BODY.size + _TRACE_TAIL.size,
             WireKind.SEGMENT_NACK,
             msg.sender,
             msg.segment_id,
-            1 if msg.prefetch else 0,
+            (1 if msg.prefetch else 0) | _TRACED_FLAG,
         )
+        return head + _TRACE_TAIL.pack(msg.trace_id)
     except struct.error as exc:
         raise WireError(f"segment-nack field out of range: {exc}") from exc
 
 
 def _enc_data(msg: SegmentData) -> bytes:
     try:
-        return _DATA_FRAME.pack(
-            1 + _DATA_BODY.size,
+        if not msg.trace_id:
+            return _DATA_FRAME.pack(
+                1 + _DATA_BODY.size,
+                WireKind.SEGMENT_DATA,
+                msg.sender,
+                msg.segment_id,
+                msg.size_bits,
+                1 if msg.prefetch else 0,
+            )
+        head = _DATA_FRAME.pack(
+            1 + _DATA_BODY.size + _TRACE_TAIL.size,
             WireKind.SEGMENT_DATA,
             msg.sender,
             msg.segment_id,
             msg.size_bits,
-            1 if msg.prefetch else 0,
+            (1 if msg.prefetch else 0) | _TRACED_FLAG,
         )
+        return head + _TRACE_TAIL.pack(msg.trace_id)
     except struct.error as exc:
         raise WireError(f"segment-data field out of range: {exc}") from exc
 
@@ -802,31 +846,50 @@ def _dec_map_delta(view: memoryview, start: int, end: int) -> BufferMapDelta:
     )
 
 
+def _trace_tail(
+    view: memoryview, start: int, end: int, body_size: int, flags: int, what: str
+) -> int:
+    """Validate the body length against flag bit 1, return the trace id."""
+    if not flags & _TRACED_FLAG:
+        if end - start != body_size:
+            raise WireError(f"{what} body size mismatch")
+        return 0
+    if end - start != body_size + _TRACE_TAIL.size:
+        raise WireError(f"{what} body size mismatch")
+    return _TRACE_TAIL.unpack_from(view, start + body_size)[0]
+
+
 def _dec_request(view: memoryview, start: int, end: int) -> SegmentRequest:
-    if end - start != _REQ_BODY.size:
+    if end - start < _REQ_BODY.size:
         raise WireError("segment-request body size mismatch")
     sender, segment_id, flags = _REQ_BODY.unpack_from(view, start)
+    trace_id = _trace_tail(view, start, end, _REQ_BODY.size, flags, "segment-request")
     return SegmentRequest(
-        sender=sender, segment_id=segment_id, prefetch=bool(flags & 1)
+        sender=sender, segment_id=segment_id, prefetch=bool(flags & 1), trace_id=trace_id
     )
 
 
 def _dec_nack(view: memoryview, start: int, end: int) -> SegmentNack:
-    if end - start != _REQ_BODY.size:
+    if end - start < _REQ_BODY.size:
         raise WireError("segment-nack body size mismatch")
     sender, segment_id, flags = _REQ_BODY.unpack_from(view, start)
-    return SegmentNack(sender=sender, segment_id=segment_id, prefetch=bool(flags & 1))
+    trace_id = _trace_tail(view, start, end, _REQ_BODY.size, flags, "segment-nack")
+    return SegmentNack(
+        sender=sender, segment_id=segment_id, prefetch=bool(flags & 1), trace_id=trace_id
+    )
 
 
 def _dec_data(view: memoryview, start: int, end: int) -> SegmentData:
-    if end - start != _DATA_BODY.size:
+    if end - start < _DATA_BODY.size:
         raise WireError("segment-data body size mismatch")
     sender, segment_id, size_bits, flags = _DATA_BODY.unpack_from(view, start)
+    trace_id = _trace_tail(view, start, end, _DATA_BODY.size, flags, "segment-data")
     return SegmentData(
         sender=sender,
         segment_id=segment_id,
         size_bits=size_bits,
         prefetch=bool(flags & 1),
+        trace_id=trace_id,
     )
 
 
@@ -1100,7 +1163,9 @@ def ledger_entry(msg: WireMessage) -> Optional[Tuple[MessageKind, float]]:
     transport frames (shard handshakes and routed-frame envelopes) are
     likewise uncharged, and so is a :class:`FrameBatch` envelope: the
     *inner* frames were each charged once, at their originating peer,
-    exactly as on the loopback transport.
+    exactly as on the loopback transport.  An 8-byte observability trace
+    tail (:mod:`repro.obs`) on a segment frame is physical-only too: a
+    traced :class:`SegmentData` still charges its declared ``size_bits``.
     """
     if isinstance(msg, BufferMapMsg):
         return (MessageKind.BUFFER_MAP, float(buffer_map_bits(msg.capacity)))

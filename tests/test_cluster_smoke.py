@@ -17,6 +17,7 @@ import pytest
 
 from repro.core.config import SystemConfig
 from repro.net.message import MessageKind, MessageLedger
+from repro.obs import ObsConfig, write_obs_jsonl
 from repro.runtime.cluster import (
     ClusterConfig,
     ClusterCoordinator,
@@ -174,6 +175,59 @@ class TestClusterSmoke:
         assert sum(1 for row in rows if row["hosts_source"]) == 1
 
 
+class TestClusterObs:
+    """Trace ids ride the shard sockets: journeys span worker processes."""
+
+    @pytest.fixture(scope="class")
+    def traced_obs(self):
+        spec = builtin_scenario("static").scaled(num_nodes=24, rounds=8, seed=11)
+        result = run_cluster(
+            spec, shards=2, rounds=8, time_scale=SMALL_SCALE,
+            obs=ObsConfig(trace_sample=4),
+        )
+        assert result.obs is not None
+        return result.obs
+
+    def test_traces_propagate_across_the_shard_socket_hop(self, traced_obs):
+        by_trace = {}
+        for span in traced_obs["spans"]:
+            if span.get("trace"):
+                by_trace.setdefault(span["trace"], set()).add(span.get("shard"))
+        cross = [t for t, shards in by_trace.items() if len(shards - {None}) > 1]
+        # A 2-shard swarm partners across the ring: some sampled journeys
+        # must cross the socket, and their spans carry both shard tags.
+        assert cross, "no journey crossed the shard socket"
+        assert traced_obs["traces"]["cross_shard"] == len(cross)
+
+    def test_cross_shard_ships_name_the_remote_hop(self, traced_obs):
+        via = [
+            s for s in traced_obs["spans"]
+            if s["event"] == "ship" and s.get("via_shard") is not None
+        ]
+        assert via, "no ship span recorded its socket hop"
+        assert all(s["via_shard"] != s["shard"] for s in via)
+
+    def test_cross_shard_journeys_carry_per_hop_timestamps(self, traced_obs):
+        by_trace = {}
+        for span in traced_obs["spans"]:
+            if span.get("trace"):
+                by_trace.setdefault(span["trace"], []).append(span)
+        complete = [
+            spans for spans in by_trace.values()
+            if len({s.get("shard") for s in spans}) > 1
+            and {s["event"] for s in spans} >= {"request", "ship", "deliver"}
+        ]
+        assert complete, "no cross-shard journey completed"
+        for spans in complete:
+            assert all(isinstance(s["t"], float) for s in spans)
+
+    def test_merged_metrics_cover_both_shards(self, traced_obs):
+        assert traced_obs["shards"] == [0, 1]
+        # gauges sum across shards: the merged view reads as cluster totals
+        assert traced_obs["metrics"]["gauges"].get("messages_sent", 0) > 0
+        assert "messages_sent" in traced_obs["metrics"]["series"]
+
+
 class TestClusterParity:
     """Small-scale cluster-vs-sim parity (the ``--backend cluster`` axis)."""
 
@@ -199,7 +253,7 @@ class TestClusterParity:
 class TestKillOneShard:
     """SIGKILL a shard mid-run: survivors refund credits and never wedge."""
 
-    def test_surviving_shard_completes_with_credits_refunded(self):
+    def test_surviving_shard_completes_with_credits_refunded(self, tmp_path):
         spec = builtin_scenario("static").scaled(num_nodes=30, rounds=12)
         coordinator = ClusterCoordinator(
             spec,
@@ -210,6 +264,7 @@ class TestKillOneShard:
                 link=LinkConfig(
                     reconnect_attempts=1, reconnect_delay_s=0.1, reconnect_grace_s=0.5
                 ),
+                obs=ObsConfig(trace_sample=8),
             ),
         )
         outcome = {}
@@ -245,3 +300,24 @@ class TestKillOneShard:
         assert len(result.continuity_series()) == 12
         # The surviving shard keeps streaming after re-partnering.
         assert result.continuity_series()[-1] > 0.0
+        # The killed shard cannot dump its own flight ring, so the
+        # survivor's postmortem is the readable record of its death.
+        assert result.obs is not None
+        dumps = result.obs["postmortems"]
+        assert any(
+            f"shard {victim} presumed dead" in dump["reason"] for dump in dumps
+        ), dumps
+        dead_dump = next(
+            d for d in dumps if f"shard {victim} presumed dead" in d["reason"]
+        )
+        assert any(
+            e["event"] == "link_lost" and e.get("remote_shard") == victim
+            for e in dead_dump["events"]
+        )
+        # ...and the whole thing exports as a readable JSONL artifact.
+        artifact = tmp_path / "postmortem.jsonl"
+        write_obs_jsonl(artifact, result.obs)
+        assert any(
+            '"type": "postmortem"' in line or '"type":"postmortem"' in line
+            for line in artifact.read_text().splitlines()
+        )

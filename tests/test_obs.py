@@ -1,0 +1,279 @@
+"""The observability plane: metrics, traces, flight recorder, exports.
+
+The load-bearing acceptance here is the *zero-overhead* claim: a
+virtual-clock run with the obs plane enabled must be bit-identical to
+the same run with it disabled on every protocol-facing output —
+continuity series, message counts, ledger totals, transport stats.
+Only ``bytes_on_wire`` may grow (traced segment frames carry a physical
+8-byte tail the ledger never charges).  The rest covers the metric
+registry, trace attribution, the JSONL artifact round-trip and the
+report renderer (see docs/observability.md).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS,
+    MetricsRegistry,
+    NullObs,
+    ObsConfig,
+    ObsRecorder,
+    format_postmortems,
+    load_obs_jsonl,
+    merge_metrics,
+    merge_obs,
+    render_report,
+    summarize_traces,
+    write_obs_jsonl,
+)
+from repro.runtime import LiveSwarm
+from repro.scenarios.library import builtin_scenario
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_and_series(self):
+        reg = MetricsRegistry()
+        reg.inc("requests")
+        reg.inc("requests", 2)
+        reg.set_gauge("depth", 7)
+        reg.snapshot(0)
+        reg.set_gauge("depth", 3)
+        reg.snapshot(1)
+        data = reg.to_dict()
+        assert data["counters"]["requests"] == 3
+        assert data["gauges"]["depth"] == 3
+        assert data["series"]["requests"] == [[0, 3.0], [1, 3.0]]
+        assert data["series"]["depth"] == [[0, 7.0], [1, 3.0]]
+
+    def test_histogram_windows_reset_per_snapshot(self):
+        reg = MetricsRegistry()
+        reg.observe("lag", 0.1)
+        reg.observe("lag", 0.3)
+        reg.snapshot(0)
+        reg.observe("lag", 0.5)
+        reg.snapshot(1)
+        series = reg.to_dict()["series"]
+        assert series["lag_mean"] == [[0, pytest.approx(0.2)], [1, pytest.approx(0.5)]]
+        assert series["lag_max"] == [[0, pytest.approx(0.3)], [1, pytest.approx(0.5)]]
+        hist = reg.to_dict()["histograms"]["lag"]
+        assert hist["count"] == 3
+        assert hist["max"] == pytest.approx(0.5)
+
+    def test_series_window_is_bounded(self):
+        reg = MetricsRegistry(window=4)
+        for period in range(10):
+            reg.inc("ticks")
+            reg.snapshot(period)
+        series = reg.to_dict()["series"]["ticks"]
+        assert len(series) == 4
+        assert series[0][0] == 6
+
+    def test_histogram_envelope_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lag", 1.0)
+        a.observe("lag", 3.0)
+        b.observe("lag", 2.0)
+        merged = merge_metrics([a.to_dict(), b.to_dict()])["histograms"]["lag"]
+        assert merged["count"] == 3
+        assert merged["min"] == 1.0
+        assert merged["max"] == 3.0
+        assert merged["sum"] == pytest.approx(6.0)
+
+    def test_merge_metrics_sums_counters_and_series(self):
+        parts = []
+        for _ in range(2):
+            reg = MetricsRegistry()
+            reg.inc("sent", 5)
+            reg.set_gauge("depth", 2)
+            reg.snapshot(0)
+            parts.append(reg.to_dict())
+        merged = merge_metrics(parts)
+        assert merged["counters"]["sent"] == 10
+        assert merged["gauges"]["depth"] == 4
+        assert merged["series"]["sent"] == [[0, 10.0]]
+
+
+class TestRecorder:
+    def test_null_obs_is_inert_and_exports_nothing(self):
+        assert isinstance(NULL_OBS, NullObs)
+        assert not NULL_OBS.enabled
+        assert not NULL_OBS.tracing
+        assert NULL_OBS.sample_trace(7) == 0
+        NULL_OBS.span("request", 1, 2, 3)
+        NULL_OBS.inc("x")
+        NULL_OBS.flight("y")
+        NULL_OBS.postmortem("z")
+        NULL_OBS.snapshot(0)
+        assert NULL_OBS.export() is None
+
+    def test_config_validates_sampling(self):
+        with pytest.raises(ValueError):
+            ObsConfig(trace_sample=0)
+
+    def test_deterministic_counter_sampling(self):
+        rec = ObsRecorder(ObsConfig(trace_sample=3))
+        ids = [rec.sample_trace(peer_id=5) for _ in range(9)]
+        sampled = [tid for tid in ids if tid]
+        assert len(sampled) == 3
+        assert len(set(sampled)) == 3  # distinct trace ids
+        assert all(tid >> 24 == 5 for tid in sampled)  # peer id embedded
+
+    def test_flight_ring_is_bounded_and_postmortem_snapshots_it(self):
+        rec = ObsRecorder(ObsConfig(flight_window=4))
+        for i in range(10):
+            rec.flight("tick", i=i)
+        rec.postmortem("boom")
+        (dump,) = rec.export()["postmortems"]
+        assert dump["reason"] == "boom"
+        assert [e["i"] for e in dump["events"]] == [6, 7, 8, 9]
+
+    def test_span_cap_counts_drops(self):
+        rec = ObsRecorder(dataclasses.replace(ObsConfig(), span_limit=2))
+        for i in range(5):
+            rec.span("request", trace=i + 1, peer=0, segment=i)
+        out = rec.export()
+        assert len(out["spans"]) == 2
+        assert out["spans_dropped"] == 3
+
+
+class TestTraceSummary:
+    def _spans(self):
+        return [
+            {"event": "request", "trace": 1, "peer": 1, "segment": 9, "t": 0.0},
+            {"event": "deliver", "trace": 1, "peer": 1, "segment": 9, "t": 0.4},
+            {"event": "play", "trace": 1, "peer": 1, "segment": 9, "t": 1.0},
+            {"event": "request", "trace": 2, "peer": 2, "segment": 10, "t": 0.0},
+            {
+                "event": "miss", "trace": 2, "peer": 2, "segment": 10, "t": 2.0,
+                "cause": "credit_starvation",
+            },
+            {"event": "request", "trace": 3, "peer": 3, "segment": 11, "t": 0.5},
+        ]
+
+    def test_summarize_traces_attributes_misses(self):
+        summary = summarize_traces(self._spans())
+        assert summary["sampled"] == 3
+        assert summary["played"] == 1
+        assert summary["missed"] == 1
+        assert summary["open"] == 1
+        assert summary["miss_causes"] == {"credit_starvation": 1}
+        assert summary["request_to_deliver_s"]["mean"] == pytest.approx(0.4)
+
+    def test_merge_obs_merges_shards_and_recomputes_traces(self):
+        parts = []
+        for shard in range(2):
+            rec = ObsRecorder(ObsConfig(), shard=shard)
+            rec.inc("sent", 10)
+            rec.snapshot(0)
+            rec.span("request", trace=shard + 1, peer=shard, segment=1)
+            parts.append(rec.export())
+        merged = merge_obs(parts)
+        assert merged["shards"] == [0, 1]
+        assert merged["metrics"]["counters"]["sent"] == 20
+        assert len(merged["spans"]) == 2
+        assert merged["traces"]["sampled"] == 2
+        assert merge_obs([None, None]) is None
+        # a disabled shard alongside an enabled one merges fine
+        assert merge_obs([None, parts[0]])["shards"] == [0]
+
+
+class TestJsonlArtifact:
+    def test_round_trip_and_report(self, tmp_path):
+        rec = ObsRecorder(ObsConfig())
+        rec.inc("sent", 3)
+        rec.observe("lag", 0.01)
+        rec.snapshot(0)
+        rec.span("request", trace=1, peer=4, segment=2, dst=9, cause="schedule")
+        rec.span("deliver", trace=1, peer=4, segment=2, supplier=9)
+        rec.span("play", trace=1, peer=4, segment=2)
+        rec.flight("dilate", stretch=1.5)
+        rec.postmortem("stall")
+        obs = merge_obs([rec.export()])
+        path = tmp_path / "obs.jsonl"
+        write_obs_jsonl(path, obs)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {line["type"] for line in lines} >= {
+            "meta", "metric", "span", "flight", "postmortem", "summary"
+        }
+        loaded = load_obs_jsonl(path)
+        assert loaded["traces"]["sampled"] == 1
+        assert loaded["traces"]["played"] == 1
+        report = render_report(loaded)
+        assert "sent" in report
+        assert "1 sampled journeys" in report
+        assert "stall" in report
+        postmortems = format_postmortems(loaded)
+        assert "stall" in postmortems
+        assert "dilate" in postmortems
+
+
+class TestZeroOverheadIdentity:
+    """Obs enabled vs disabled: bit-identical virtual-clock runs."""
+
+    SPEC = ("static", 30, 8)
+
+    def _run(self, obs):
+        name, nodes, rounds = self.SPEC
+        spec = builtin_scenario(name).scaled(num_nodes=nodes, rounds=rounds, seed=3)
+        return LiveSwarm(spec, clock="virtual", obs=obs).run()
+
+    def test_enabled_run_is_bit_identical_on_protocol_outputs(self):
+        base = self._run(None)
+        traced = self._run(ObsConfig(trace_sample=4))
+        assert base.obs is None
+        assert traced.obs is not None
+        assert traced.continuity_series() == base.continuity_series()
+        assert traced.messages_sent == base.messages_sent
+        assert traced.messages_dropped == base.messages_dropped
+        assert traced.transport == base.transport
+        for kind in base.ledger.bits:
+            assert traced.ledger.bits_of(kind) == base.ledger.bits_of(kind)
+            assert traced.ledger.count_of(kind) == base.ledger.count_of(kind)
+        # The one legitimate physical difference: traced segment frames
+        # carry the 8-byte tail, so the wire byte count may only grow.
+        assert traced.bytes_on_wire >= base.bytes_on_wire
+
+    def test_metrics_only_run_has_identical_wire_bytes_too(self):
+        base = self._run(None)
+        metered = self._run(ObsConfig(tracing=False))
+        assert metered.bytes_on_wire == base.bytes_on_wire
+        assert metered.continuity_series() == base.continuity_series()
+        assert metered.obs is not None
+
+
+class TestJourneyAttribution:
+    """A lossy virtual run yields complete journeys with miss causes."""
+
+    @pytest.fixture(scope="class")
+    def lossy_obs(self):
+        spec = builtin_scenario("static").scaled(num_nodes=30, rounds=10, seed=1)
+        spec = dataclasses.replace(spec, loss_rate=0.3)
+        result = LiveSwarm(
+            spec, clock="virtual", obs=ObsConfig(trace_sample=1)
+        ).run()
+        assert result.obs is not None
+        return result.obs
+
+    def test_traces_cover_the_full_journey(self, lossy_obs):
+        traces = lossy_obs["traces"]
+        assert traces["sampled"] > 100
+        assert traces["played"] > 0
+        events = {span["event"] for span in lossy_obs["spans"]}
+        assert {"request", "recv_request", "ship", "deliver", "play"} <= events
+
+    def test_misses_are_attributed_to_causes(self, lossy_obs):
+        causes = lossy_obs["traces"]["miss_causes"]
+        assert causes, "a 30%-loss run must miss some deadlines"
+        assert set(causes) <= {
+            "delivered_late", "credit_starvation", "lost_or_queued"
+        }
+        # 30% frame loss must surface loss-attributed misses specifically
+        assert causes.get("lost_or_queued", 0) > 0
+
+    def test_every_miss_span_names_its_cause(self, lossy_obs):
+        misses = [s for s in lossy_obs["spans"] if s["event"] == "miss"]
+        assert misses
+        assert all(s.get("cause") for s in misses)

@@ -1,5 +1,7 @@
 """Exhaustive round-trip and robustness tests for the runtime wire codec."""
 
+import dataclasses
+
 import pytest
 
 from repro.net.message import (
@@ -31,6 +33,12 @@ def sample_messages():
         wire.SegmentData(sender=3, segment_id=4, size_bits=0, prefetch=True),
         wire.SegmentNack(sender=9, segment_id=11),
         wire.SegmentNack(sender=9, segment_id=11, prefetch=True),
+        # -- traced segment frames (8-byte observability tail, u64 edge)
+        wire.SegmentRequest(sender=3, segment_id=5, trace_id=1),
+        wire.SegmentData(
+            sender=1, segment_id=2, size_bits=30 * 1024, trace_id=2**64 - 1
+        ),
+        wire.SegmentNack(sender=9, segment_id=11, prefetch=True, trace_id=77),
         # -- DHT plane: empty-ish and long paths
         wire.DhtLookup(origin=5, target_key=1234, segment_id=77, path=(5,)),
         wire.DhtLookup(
@@ -158,6 +166,58 @@ class TestRoundTrip:
             decoded.append(msg)
         assert len(decoded) == len(msgs)
         assert [type(m) for m in decoded] == [type(m) for m in msgs]
+
+
+class TestTraceTail:
+    """The 8-byte observability tail on segment frames (repro.obs)."""
+
+    def _pairs(self):
+        return [
+            (
+                wire.SegmentRequest(sender=3, segment_id=5),
+                wire.SegmentRequest(sender=3, segment_id=5, trace_id=41),
+            ),
+            (
+                wire.SegmentData(sender=1, segment_id=2, size_bits=64),
+                wire.SegmentData(sender=1, segment_id=2, size_bits=64, trace_id=41),
+            ),
+            (
+                wire.SegmentNack(sender=9, segment_id=11),
+                wire.SegmentNack(sender=9, segment_id=11, trace_id=41),
+            ),
+        ]
+
+    def test_untraced_frames_are_byte_identical_to_the_pre_obs_wire(self):
+        # trace_id=0 must cost nothing: same bytes, no flag bit set.
+        for plain, traced in self._pairs():
+            zeroed = dataclasses.replace(traced, trace_id=0)
+            assert wire.encode(zeroed) == wire.encode(plain)
+            # flags is the final byte of all three untraced segment frames
+            assert not wire.encode(plain)[-1] & 0x2
+
+    def test_traced_frames_cost_exactly_eight_extra_bytes(self):
+        for plain, traced in self._pairs():
+            assert len(wire.encode(traced)) == len(wire.encode(plain)) + 8
+            decoded, _ = wire.decode(wire.encode(traced))
+            assert decoded == traced
+
+    def test_trace_tail_is_never_charged_to_the_ledger(self):
+        plain = wire.SegmentData(sender=1, segment_id=2, size_bits=30 * 1024)
+        traced = wire.SegmentData(
+            sender=1, segment_id=2, size_bits=30 * 1024, trace_id=99
+        )
+        assert wire.ledger_entry(traced) == wire.ledger_entry(plain)
+        assert wire.ledger_entry(
+            wire.SegmentRequest(sender=1, segment_id=2, trace_id=99)
+        ) is None
+
+    def test_trace_flag_with_missing_tail_is_rejected(self):
+        frame = bytearray(wire.encode(wire.SegmentRequest(sender=3, segment_id=5)))
+        # Set the traced flag without appending the tail: corrupt frame.
+        flags_offset = len(frame) - 1
+        frame[flags_offset] |= 0x2
+        with pytest.raises(wire.WireError):
+            wire.decode(bytes(frame))
 
 
 class TestTruncationAndCorruption:

@@ -27,6 +27,8 @@ from repro.streaming.buffermap import BufferMap  # noqa: E402
 
 u32 = st.integers(0, 2**32 - 1)
 u16 = st.integers(0, 2**16 - 1)
+#: 0 (untraced, the wire-identical fast path) or any u64 trace id.
+trace_ids = st.one_of(st.just(0), st.integers(0, 2**64 - 1))
 flags = st.booleans()
 paths = st.lists(u32, max_size=64).map(tuple)
 rates = st.floats(
@@ -75,10 +77,13 @@ _batchable_messages = st.deferred(
     lambda: st.one_of(
         buffer_map_msgs(),
         buffer_map_deltas(),
-        st.builds(wire.SegmentRequest, sender=u32, segment_id=u32, prefetch=flags),
+        st.builds(
+            wire.SegmentRequest, sender=u32, segment_id=u32, prefetch=flags,
+            trace_id=trace_ids,
+        ),
         st.builds(
             wire.SegmentData, sender=u32, segment_id=u32, size_bits=u32,
-            prefetch=flags,
+            prefetch=flags, trace_id=trace_ids,
         ),
         st.builds(wire.Ping, sender=u32, nonce=u32),
         st.builds(wire.CreditGrant, sender=u32, credits=st.integers(1, 2**16 - 1)),
@@ -98,10 +103,17 @@ def frame_batches(draw):
 
 wire_messages = st.one_of(
     buffer_map_msgs(),
-    st.builds(wire.SegmentRequest, sender=u32, segment_id=u32, prefetch=flags),
-    st.builds(wire.SegmentNack, sender=u32, segment_id=u32, prefetch=flags),
     st.builds(
-        wire.SegmentData, sender=u32, segment_id=u32, size_bits=u32, prefetch=flags
+        wire.SegmentRequest, sender=u32, segment_id=u32, prefetch=flags,
+        trace_id=trace_ids,
+    ),
+    st.builds(
+        wire.SegmentNack, sender=u32, segment_id=u32, prefetch=flags,
+        trace_id=trace_ids,
+    ),
+    st.builds(
+        wire.SegmentData, sender=u32, segment_id=u32, size_bits=u32, prefetch=flags,
+        trace_id=trace_ids,
     ),
     st.builds(
         wire.DhtLookup, origin=u32, target_key=u32, segment_id=u32, path=paths
