@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from conftest import scaled, write_bench_artifact
 
-from repro.obs import ObsConfig
+from repro.obs import HealthEngine, ObsConfig
 from repro.runtime import LiveSwarm
 from repro.scenarios import builtin_scenario
 
@@ -37,14 +37,22 @@ SMALL_ROUNDS = 30
 PAPER_ROUNDS = 30
 
 
-def _run_one(num_nodes: int, rounds: int, obs: ObsConfig | None = None):
+def _run_one(
+    num_nodes: int,
+    rounds: int,
+    obs: ObsConfig | None = None,
+    telemetry_sink=None,
+):
     spec = builtin_scenario("static").scaled(num_nodes=num_nodes, rounds=rounds)
     # Push the clock: ~25 ms of wall time per simulated second at 50 peers,
     # growing with swarm size.  Overload is expected and *wanted* here —
     # the adaptive dilation stretches the schedule to the sustainable
     # rate, which is exactly the ceiling this benchmark measures.
     time_scale = 0.0005 * num_nodes
-    return LiveSwarm(spec, time_scale=time_scale, obs=obs).run()
+    swarm = LiveSwarm(spec, time_scale=time_scale, obs=obs)
+    if telemetry_sink is not None:
+        swarm.telemetry_sink = telemetry_sink
+    return swarm.run()
 
 
 def test_bench_runtime(benchmark):
@@ -98,8 +106,10 @@ def test_bench_runtime(benchmark):
 def test_bench_runtime_obs_overhead(benchmark):
     """The observability plane's throughput cost at the 50-peer point.
 
-    Runs the same swarm with the obs plane off and fully on (metrics +
-    every-16th-request tracing) and records the throughput ratio in
+    Runs the same swarm three ways — obs off, obs fully on (metrics +
+    every-16th-request tracing), and obs on with live telemetry streaming
+    into a :class:`HealthEngine` at the default one-frame-per-period
+    cadence — and records the throughput ratios in
     ``BENCH_runtime_obs.json``.  The issue's ≤5% budget is pinned as a
     loose wall-clock floor here (shared CI boxes time-slice one core, so
     a strict 0.95 gate would flake); the *strict* zero-overhead claim —
@@ -107,16 +117,30 @@ def test_bench_runtime_obs_overhead(benchmark):
     virtual clock by tests/test_obs.py instead.
     """
     rounds = scaled(SMALL_ROUNDS, PAPER_ROUNDS)
+    engine = HealthEngine(expected_shards=1)
+    frames: list = []
 
-    def pair():
+    def sink(body):
+        frames.append(body)
+        engine.observe_frame(body)
+
+    def triple():
         return {
             "off": _run_one(50, rounds),
             "on": _run_one(50, rounds, obs=ObsConfig()),
+            # Live telemetry at the default cadence (one frame/period)
+            # feeding a real HealthEngine — the `--telemetry-out` /
+            # cluster-coordinator consumer path.
+            "telemetry": _run_one(
+                50, rounds, obs=ObsConfig(), telemetry_sink=sink
+            ),
         }
 
-    results = benchmark.pedantic(pair, rounds=1, iterations=1)
-    off, on = results["off"], results["on"]
-    ratio = on.messages_per_wall_second() / max(1.0, off.messages_per_wall_second())
+    results = benchmark.pedantic(triple, rounds=1, iterations=1)
+    off, on, tele = results["off"], results["on"], results["telemetry"]
+    base = max(1.0, off.messages_per_wall_second())
+    ratio = on.messages_per_wall_second() / base
+    tele_ratio = tele.messages_per_wall_second() / base
     artifact = {
         "off_messages_per_s": round(off.messages_per_wall_second(), 1),
         "on_messages_per_s": round(on.messages_per_wall_second(), 1),
@@ -124,15 +148,26 @@ def test_bench_runtime_obs_overhead(benchmark):
         "on_spans": len((on.obs or {}).get("spans", [])),
         "on_sampled_journeys": ((on.obs or {}).get("traces") or {}).get("sampled", 0),
         "trace_sample": ObsConfig().trace_sample,
+        "telemetry_messages_per_s": round(tele.messages_per_wall_second(), 1),
+        "telemetry_throughput_ratio": round(tele_ratio, 4),
+        "telemetry_frames": len(frames),
+        "telemetry_every": ObsConfig().telemetry_every,
     }
     path = write_bench_artifact("runtime_obs", artifact)
     print(
         f"\nobs off {artifact['off_messages_per_s']:.0f} msg/s, "
         f"on {artifact['on_messages_per_s']:.0f} msg/s "
-        f"(ratio {ratio:.3f}); artifact: {path}"
+        f"(ratio {ratio:.3f}), telemetry "
+        f"{artifact['telemetry_messages_per_s']:.0f} msg/s "
+        f"(ratio {tele_ratio:.3f}, {len(frames)} frames); artifact: {path}"
     )
     assert on.obs is not None and on.obs["traces"]["sampled"] > 0
     assert on.stable_continuity() > 0.5
-    # Loose floor for noisy shared runners; the recorded ratio is the
-    # tracked number (target: ≥ 0.95 on a quiet machine).
+    # The telemetry run actually streamed frames into the engine.
+    assert len(frames) == rounds
+    assert engine.snapshot()["closed_through"] == rounds - 1
+    assert tele.stable_continuity() > 0.5
+    # Loose floor for noisy shared runners; the recorded ratios are the
+    # tracked numbers (target: ≥ 0.95 on a quiet machine).
     assert ratio >= 0.5, artifact
+    assert tele_ratio >= 0.5, artifact

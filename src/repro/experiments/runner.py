@@ -33,6 +33,12 @@ Usage (installed as ``continustreaming-experiments``)::
     continustreaming-experiments runtime --obs --metrics-out obs.jsonl
     continustreaming-experiments cluster --shards 2 --metrics-out obs.jsonl
     continustreaming-experiments obs --in obs.jsonl
+    continustreaming-experiments campaign --backend runtime --obs --out results/
+
+    # live telemetry, SLO budgets and the cockpit:
+    continustreaming-experiments cluster --shards 2 --slo "continuity>=0.9" \
+        --telemetry-out telemetry.jsonl
+    continustreaming-experiments obs --live --in telemetry.jsonl
 
 ``--scale paper`` uses the paper's node counts (slow: thousands of nodes);
 ``--scale small`` (default) uses laptop-friendly sizes that preserve the
@@ -57,14 +63,56 @@ DEFAULT_ROUNDS = 30
 def _obs_config(args: argparse.Namespace):
     """The observability plane requested by the flags (``None`` = off).
 
-    ``--metrics-out PATH`` implies ``--obs`` — asking for the artifact
-    is asking for the instrumentation.
+    ``--metrics-out``, ``--slo`` and ``--telemetry-out`` all imply
+    ``--obs`` — asking for the artifact (or the SLO verdict) is asking
+    for the instrumentation.
     """
-    if not (args.obs or args.metrics_out):
+    if not (args.obs or args.metrics_out or args.slo or args.telemetry_out):
         return None
     from repro.obs import ObsConfig
 
-    return ObsConfig(trace_sample=args.trace_sample)
+    return ObsConfig(
+        trace_sample=args.trace_sample, telemetry_every=args.telemetry_every
+    )
+
+
+def _telemetry_plane(args: argparse.Namespace, swarm, rounds: int):
+    """Attach the live telemetry consumers to a single-process swarm.
+
+    Chains the swarm's telemetry sink through a
+    :class:`~repro.obs.health.HealthEngine` (sharing the swarm's own
+    recorder, so alerts and the breach postmortem land in the obs
+    export) and, with ``--telemetry-out``, a streaming
+    :class:`~repro.obs.live.TelemetryWriter`.  With ``--slo`` the sink
+    raises :class:`~repro.obs.health.SloViolation` on breach, aborting
+    the run early.  Returns ``(engine, writer)`` (both ``None`` when no
+    telemetry consumer was requested).
+    """
+    from repro.obs import HealthEngine, SloViolation, TelemetryWriter, parse_slo
+
+    slo = parse_slo(args.slo)
+    if slo is None and not args.telemetry_out:
+        return None, None
+    grace = (
+        slo.grace if slo is not None and slo.grace is not None else max(2, rounds // 3)
+    )
+    engine = HealthEngine(
+        slo=slo, recorder=swarm.obs, grace=grace, expected_shards=1
+    )
+    writer = TelemetryWriter(args.telemetry_out) if args.telemetry_out else None
+
+    def sink(body):
+        engine.observe_frame(body)
+        if writer is not None:
+            writer.frame(body)
+        for alert in engine.drain_alerts():
+            if writer is not None:
+                writer.alert(alert)
+        if slo is not None and engine.breach is not None:
+            raise SloViolation(engine.breach)
+
+    swarm.telemetry_sink = sink
+    return engine, writer
 
 
 def _obs_lines(result, args: argparse.Namespace) -> List[str]:
@@ -94,6 +142,34 @@ def _obs_postmortems(result) -> str:
     from repro.obs import format_postmortems
 
     return format_postmortems(result.obs)
+
+
+def _print_slo_breach(exc) -> None:
+    """Print the breach postmortem to stderr before exiting non-zero."""
+    from repro.obs import format_postmortems
+
+    postmortems = format_postmortems(exc.obs)
+    if postmortems:
+        print(postmortems, file=sys.stderr)
+
+
+def _telemetry_lines(args: argparse.Namespace, health) -> List[str]:
+    """Summary lines for the live telemetry plane (``health`` is a
+    :meth:`~repro.obs.health.HealthEngine.snapshot` dict, or ``None``)."""
+    lines = []
+    if health is not None:
+        slo = health.get("slo")
+        lines.append(
+            f"  health: {len(health.get('alerts', []))} alert(s), "
+            f"closed through period {health.get('closed_through', -1)}"
+            + (f", SLO '{slo}' ok" if slo else "")
+        )
+    if args.telemetry_out:
+        lines.append(
+            f"  telemetry: JSONL streamed to {args.telemetry_out} "
+            f"(exposition at {args.telemetry_out}.prom)"
+        )
+    return lines
 
 
 def _sizes_for(scale: str, paper: Sequence[int], small: Sequence[int]) -> List[int]:
@@ -219,8 +295,17 @@ def cmd_campaign(args: argparse.Namespace) -> str:
     from repro.scenarios import builtin_names, run_campaign
 
     names = args.scenario or ["static", "paper-dynamic"]
+    if args.slo or args.telemetry_out:
+        raise SystemExit(
+            "campaign does not take --slo/--telemetry-out (they govern one "
+            "run; use the runtime or cluster command)"
+        )
     results_path = None
     summary_path = None
+    obs_cfg = _obs_config(args)
+    # For campaigns --metrics-out names a *directory*: each grid cell
+    # writes its own collision-free obs JSONL there.
+    obs_dir = args.metrics_out or (args.out if obs_cfg is not None else None)
     if args.out:
         from pathlib import Path
 
@@ -239,6 +324,8 @@ def cmd_campaign(args: argparse.Namespace) -> str:
             backend=args.backend,
             time_scale=args.time_scale,
             shards=args.shards,
+            obs=obs_cfg,
+            obs_dir=obs_dir,
         )
     except (ValueError, RuntimeError) as exc:
         # ValueError: bad scenario names/specs; RuntimeError: e.g. a YAML
@@ -259,6 +346,9 @@ def cmd_campaign(args: argparse.Namespace) -> str:
     ]
     if not store.is_complete:
         lines.insert(1, store.format_incomplete())
+    if obs_cfg is not None and obs_dir:
+        lines.append("")
+        lines.append(f"per-cell obs JSONL written to {obs_dir}/")
     if args.out:
         lines.append("")
         lines.append(f"results written to {results_path} and {summary_path}")
@@ -311,15 +401,26 @@ def cmd_runtime(args: argparse.Namespace) -> str:
         continuity = report.runtime_stable_continuity
         out = report.formatted()
     else:
+        from repro.obs import SloViolation
+
         spec = spec.scaled(num_nodes=nodes, rounds=rounds, seed=args.seed)
-        result = LiveSwarm(
+        swarm = LiveSwarm(
             spec,
             time_scale=time_scale,
             clock=args.clock,
             batching=not args.no_batch,
             delta_maps=not args.no_delta,
             obs=_obs_config(args),
-        ).run()
+        )
+        engine, writer = _telemetry_plane(args, swarm, rounds)
+        try:
+            result = swarm.run()
+        except SloViolation as exc:
+            _print_slo_breach(exc)
+            raise SystemExit(f"runtime SLO breach: {exc}") from exc
+        finally:
+            if writer is not None:
+                writer.close()
         continuity = result.stable_continuity()
         ledger = summarize_ledger(result.ledger, transport=result.transport)
         lines = [
@@ -342,6 +443,9 @@ def cmd_runtime(args: argparse.Namespace) -> str:
             f"wall {result.wall_time_s:.2f}s",
         ]
         lines.extend(_obs_lines(result, args))
+        lines.extend(
+            _telemetry_lines(args, engine.snapshot() if engine is not None else None)
+        )
         out = "\n".join(lines)
     if args.assert_continuity is not None and continuity < args.assert_continuity:
         print(out)
@@ -372,9 +476,15 @@ def cmd_cluster(args: argparse.Namespace) -> str:
         (spec,) = load_scenarios(names)
     except (ValueError, RuntimeError) as exc:
         raise SystemExit(f"cluster error: {exc}") from exc
+    from repro.obs import SloViolation, parse_slo
+
     nodes = args.nodes or 1000
     rounds = args.rounds or 30
     spec = spec.scaled(num_nodes=nodes, rounds=rounds, seed=args.seed)
+    try:
+        slo = parse_slo(args.slo)
+    except ValueError as exc:
+        raise SystemExit(f"cluster error: {exc}") from exc
     try:
         result = run_cluster(
             spec,
@@ -384,7 +494,12 @@ def cmd_cluster(args: argparse.Namespace) -> str:
             batching=not args.no_batch,
             delta_maps=not args.no_delta,
             obs=_obs_config(args),
+            slo=slo,
+            telemetry_out=args.telemetry_out,
         )
+    except SloViolation as exc:
+        _print_slo_breach(exc)
+        raise SystemExit(f"cluster SLO breach: {exc}") from exc
     except RuntimeError as exc:
         raise SystemExit(f"cluster error: {exc}") from exc
     continuity = result.stable_continuity()
@@ -426,6 +541,7 @@ def cmd_cluster(args: argparse.Namespace) -> str:
             + "  (* hosts the source)"
         )
     lines.extend(_obs_lines(result, args))
+    lines.extend(_telemetry_lines(args, cluster.get("health")))
     out = "\n".join(lines)
     if args.assert_continuity is not None and continuity < args.assert_continuity:
         print(out)
@@ -440,7 +556,24 @@ def cmd_cluster(args: argparse.Namespace) -> str:
 
 
 def cmd_obs(args: argparse.Namespace) -> str:
-    """Render a human-readable report from an obs JSONL artifact."""
+    """Render an obs JSONL report, or the live telemetry cockpit."""
+    if args.live:
+        from repro.obs import run_live
+
+        if not args.obs_in:
+            raise SystemExit(
+                "obs --live needs --in PATH (a telemetry JSONL from --telemetry-out)"
+            )
+        try:
+            cockpit = run_live(args.obs_in, refresh_s=args.refresh, once=args.once)
+        except OSError as exc:
+            raise SystemExit(
+                f"obs error: could not read {args.obs_in}: {exc}"
+            ) from exc
+        return (
+            f"(cockpit closed: {cockpit.frames} frame(s), "
+            f"{cockpit.alert_count} alert(s), {len(cockpit.shards)} shard(s))"
+        )
     from repro.obs import load_obs_jsonl, render_report
 
     if not args.obs_in:
@@ -623,6 +756,31 @@ def build_parser() -> argparse.ArgumentParser:
     obs_group.add_argument(
         "--in", dest="obs_in", default=None, metavar="PATH",
         help="JSONL artifact to render with the obs command")
+    obs_group.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help="abort the run once this SLO's error budget burns too fast, "
+        "e.g. 'continuity>=0.95:burn=3x:grace=5' (implies --obs; see "
+        "docs/observability.md on burn-rate semantics)")
+    obs_group.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="stream live telemetry frames + alerts to PATH as JSONL, with "
+        "a Prometheus text exposition at PATH.prom (implies --obs; watch "
+        "it with 'obs --live --in PATH')")
+    obs_group.add_argument(
+        "--telemetry-every", type=int, default=1, metavar="N",
+        help="emit one telemetry frame every N scheduling periods "
+        "(default: 1)")
+    obs_group.add_argument(
+        "--live", action="store_true",
+        help="with the obs command: tail a telemetry JSONL and render the "
+        "refreshing terminal cockpit instead of a static report")
+    obs_group.add_argument(
+        "--refresh", type=float, default=1.0, metavar="S",
+        help="cockpit redraw interval for obs --live (default: 1.0s)")
+    obs_group.add_argument(
+        "--once", action="store_true",
+        help="with obs --live: read the stream once, render once and exit "
+        "(used by tests/CI instead of following the file)")
     cluster_group = parser.add_argument_group("cluster options")
     cluster_group.add_argument(
         "--shards", type=int, default=4,

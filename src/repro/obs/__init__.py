@@ -1,4 +1,4 @@
-"""The observability plane: metrics, segment-journey traces, flight recorder.
+"""The observability plane: metrics, traces, flight recorder, live telemetry.
 
 Opt-in instrumentation for the live runtime and the cluster
 (``docs/observability.md``).  Pass an :class:`ObsConfig` to
@@ -9,8 +9,28 @@ trace spans that cross shard sockets, and flight-recorder postmortems
 dumped on stalls, shard death or crashes.  Disabled (the default), the
 plane is the no-op :data:`NULL_OBS` and runs are bit-identical to an
 uninstrumented build.
+
+On top of the recorder sits the live plane: shards stream uncharged
+``TelemetryFrame``s to the coordinator every period, a
+:class:`HealthEngine` folds them into run-level SLO verdicts (``--slo``
+aborts on budget burn via :class:`SloViolation`), and the stream feeds
+``--telemetry-out`` JSONL + Prometheus exposition files and the
+``obs --live`` :class:`Cockpit`.
 """
 
+from repro.obs.health import (
+    Alert,
+    HealthEngine,
+    SloSpec,
+    SloViolation,
+    parse_slo,
+)
+from repro.obs.live import (
+    Cockpit,
+    TelemetryWriter,
+    load_telemetry_jsonl,
+    run_live,
+)
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -27,17 +47,26 @@ from repro.obs.report import (
 )
 
 __all__ = [
+    "Alert",
+    "Cockpit",
+    "HealthEngine",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBS",
     "NullObs",
     "ObsConfig",
     "ObsRecorder",
+    "SloSpec",
+    "SloViolation",
+    "TelemetryWriter",
     "format_postmortems",
     "load_obs_jsonl",
+    "load_telemetry_jsonl",
     "merge_metrics",
     "merge_obs",
+    "parse_slo",
     "render_report",
+    "run_live",
     "summarize_traces",
     "write_obs_jsonl",
 ]

@@ -191,7 +191,7 @@ def summarize_traces(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     causes: Dict[str, int] = {}
     latencies: List[float] = []
     for events in journeys.values():
-        events.sort(key=lambda s: s.get("t", 0.0))
+        events.sort(key=lambda s: (s.get("t", 0.0), s.get("seq", 0)))
         kinds = {s["event"] for s in events}
         shards = {s.get("shard") for s in events if s.get("shard") is not None}
         if len(shards) > 1:
@@ -238,6 +238,12 @@ def merge_obs(parts: List[Optional[Dict[str, Any]]], span_limit: int = 200_000) 
     concatenate, metrics merge via :func:`merge_metrics`, and the trace
     summary is recomputed over the combined span stream so cross-shard
     journeys count once.  Returns ``None`` when no shard exported obs.
+
+    The span re-sort tie-breaks equal sim timestamps on ``(trace, seq)``
+    — virtual-clock shards routinely stamp many spans at the same sim
+    instant, and Python's stable sort would otherwise leave their order
+    at the mercy of shard arrival order, making merged reports differ
+    run-to-run.  Flight events tie-break on their shard tag.
     """
     parts = [p for p in parts if p]
     if not parts:
@@ -251,8 +257,8 @@ def merge_obs(parts: List[Optional[Dict[str, Any]]], span_limit: int = 200_000) 
         flight.extend(part.get("flight", ()))
         postmortems.extend(part.get("postmortems", ()))
         dropped += part.get("spans_dropped", 0)
-    spans.sort(key=lambda s: s.get("t", 0.0))
-    flight.sort(key=lambda s: s.get("t", 0.0))
+    spans.sort(key=lambda s: (s.get("t", 0.0), s.get("trace", 0), s.get("seq", 0)))
+    flight.sort(key=lambda s: (s.get("t", 0.0), s.get("shard") or 0))
     if len(spans) > span_limit:
         dropped += len(spans) - span_limit
         spans = spans[:span_limit]

@@ -45,6 +45,11 @@ class ObsConfig:
         flight_window: flight-recorder ring length, in events.
         span_limit: per-process span cap; excess increments
             ``spans_dropped`` instead of growing without bound.
+        telemetry: stream live :class:`~repro.runtime.wire.TelemetryFrame`
+            bodies to whatever sink the runner attaches (the cluster
+            control pipe, ``--telemetry-out``, a ``HealthEngine``).  Off
+            costs nothing; on without a sink costs nothing either.
+        telemetry_every: emit one telemetry frame every N periods.
     """
 
     metrics: bool = True
@@ -53,10 +58,16 @@ class ObsConfig:
     series_window: int = 512
     flight_window: int = 256
     span_limit: int = 50_000
+    telemetry: bool = True
+    telemetry_every: int = 1
 
     def __post_init__(self) -> None:
         if self.trace_sample < 1:
             raise ValueError(f"trace_sample must be >= 1, got {self.trace_sample!r}")
+        if self.telemetry_every < 1:
+            raise ValueError(
+                f"telemetry_every must be >= 1, got {self.telemetry_every!r}"
+            )
 
 
 class NullObs:
@@ -87,6 +98,9 @@ class NullObs:
     def flight(self, event: str, **fields: Any) -> None:
         pass
 
+    def flight_since(self, seen: int) -> "tuple[int, List[Dict[str, Any]]]":
+        return (0, [])
+
     def postmortem(self, reason: str) -> None:
         pass
 
@@ -113,9 +127,12 @@ class ObsRecorder:
         self.spans: List[Dict[str, Any]] = []
         self.spans_dropped = 0
         self._flight: Deque[Dict[str, Any]] = deque(maxlen=config.flight_window)
+        self.flight_total = 0
         self.postmortems: List[Dict[str, Any]] = []
+        self.miss_causes: Dict[str, int] = {}
         self._req_count = 0
         self._trace_counter = 0
+        self._span_seq = 0
         self._clock: Optional[Callable[[], float]] = None
         self._last_t = 0.0
 
@@ -148,16 +165,26 @@ class ObsRecorder:
         return ((peer_id & 0xFFFFFFFF) << 24) | (self._trace_counter & 0xFFFFFF)
 
     def span(self, event: str, trace: int, peer: int, segment: int, **extra: Any) -> None:
-        """Record one structured span on a sampled segment journey."""
+        """Record one structured span on a sampled segment journey.
+
+        Each span carries a per-recorder monotone ``seq`` so merged
+        multi-shard span streams re-sort deterministically even when sim
+        timestamps collide (see :func:`~repro.obs.metrics.merge_obs`).
+        """
+        if event == "miss":
+            cause = extra.get("cause", "unknown")
+            self.miss_causes[cause] = self.miss_causes.get(cause, 0) + 1
         if len(self.spans) >= self.config.span_limit:
             self.spans_dropped += 1
             return
+        self._span_seq += 1
         span: Dict[str, Any] = {
             "trace": trace,
             "event": event,
             "peer": peer,
             "segment": segment,
             "t": self._now(),
+            "seq": self._span_seq,
         }
         if self.shard is not None:
             span["shard"] = self.shard
@@ -184,6 +211,20 @@ class ObsRecorder:
         if fields:
             entry.update(fields)
         self._flight.append(entry)
+        self.flight_total += 1
+
+    def flight_since(self, seen: int) -> "tuple[int, List[Dict[str, Any]]]":
+        """``(total, new_events)`` since a caller last saw ``seen`` events.
+
+        Feeds the telemetry stream's flight-recorder deltas: events that
+        already scrolled out of the bounded ring are simply gone (the
+        delta covers at most one ring's worth).
+        """
+        fresh = min(self.flight_total - seen, len(self._flight))
+        if fresh <= 0:
+            return (self.flight_total, [])
+        ring = list(self._flight)
+        return (self.flight_total, ring[-fresh:])
 
     def postmortem(self, reason: str) -> None:
         """Dump the flight ring: called on stall, shard death, crash."""

@@ -64,7 +64,13 @@ def write_obs_jsonl(path: Union[str, Path], obs: Dict[str, Any]) -> Path:
 
 
 def load_obs_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
-    """Reconstruct an obs export dict from a :func:`write_obs_jsonl` file."""
+    """Reconstruct an obs export dict from a :func:`write_obs_jsonl` file.
+
+    Robust by contract: empty files, truncated trailing lines (a writer
+    killed mid-append) and malformed records are *skipped*, not raised —
+    a partial export from a dead run must still render a report.  The
+    skip count surfaces as ``skipped_lines`` and in the report footer.
+    """
     obs: Dict[str, Any] = {
         "shard": None,
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}, "series": {}},
@@ -73,6 +79,7 @@ def load_obs_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
         "postmortems": [],
         "spans_dropped": 0,
         "traces": {},
+        "skipped_lines": 0,
     }
     series: Dict[str, List[List[float]]] = {}
     with Path(path).open("r", encoding="utf-8") as fh:
@@ -80,7 +87,14 @@ def load_obs_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except ValueError:
+                obs["skipped_lines"] += 1
+                continue
+            if not isinstance(record, dict):
+                obs["skipped_lines"] += 1
+                continue
             kind = record.pop("type", None)
             if kind == "meta":
                 obs["shard"] = record.get("shard")
@@ -88,6 +102,9 @@ def load_obs_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
                     obs["shards"] = record["shards"]
                 obs["spans_dropped"] = record.get("spans_dropped", 0)
             elif kind == "metric":
+                if "name" not in record or "period" not in record or "value" not in record:
+                    obs["skipped_lines"] += 1
+                    continue
                 series.setdefault(record["name"], []).append(
                     [record["period"], record["value"]]
                 )
@@ -102,6 +119,8 @@ def load_obs_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
                 obs["metrics"]["gauges"] = record.get("gauges", {})
                 obs["metrics"]["histograms"] = record.get("histograms", {})
                 obs["traces"] = record.get("traces", {})
+            else:
+                obs["skipped_lines"] += 1
     obs["metrics"]["series"] = series
     if not obs["traces"] and obs["spans"]:
         obs["traces"] = summarize_traces(obs["spans"])
@@ -138,6 +157,8 @@ def render_report(obs: Dict[str, Any]) -> str:
                 f"  {name:<{width}}  {_sparkline(values)}  "
                 f"last={values[-1]:.4g} min={min(values):.4g} max={max(values):.4g}"
             )
+    else:
+        lines.append("(no metric series in this export)")
     counters = metrics.get("counters", {})
     if counters:
         lines.append("counters")
@@ -150,7 +171,7 @@ def render_report(obs: Dict[str, Any]) -> str:
         width = max(len(name) for name in hists)
         for name in sorted(hists):
             h = hists[name]
-            mean = h["sum"] / h["count"] if h.get("count") else 0.0
+            mean = h.get("sum", 0.0) / h["count"] if h.get("count") else 0.0
             lines.append(
                 f"  {name:<{width}}  n={h.get('count', 0)} mean={mean:.4g} "
                 f"min={h.get('min', 0.0):.4g} max={h.get('max', 0.0):.4g}"
@@ -173,6 +194,9 @@ def render_report(obs: Dict[str, Any]) -> str:
     dropped = obs.get("spans_dropped", 0)
     if dropped:
         lines.append(f"  ({dropped} spans dropped at the per-process cap)")
+    skipped = obs.get("skipped_lines", 0)
+    if skipped:
+        lines.append(f"  ({skipped} malformed/unknown JSONL lines skipped)")
     pm = format_postmortems(obs)
     if pm:
         lines.append(pm)

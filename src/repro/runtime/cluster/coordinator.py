@@ -44,7 +44,16 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs import ObsConfig, merge_obs
+from repro.obs import (
+    HealthEngine,
+    ObsConfig,
+    ObsRecorder,
+    SloSpec,
+    SloViolation,
+    TelemetryWriter,
+    merge_obs,
+)
+from repro.runtime import wire
 from repro.runtime.cluster.links import LinkConfig
 from repro.runtime.cluster.worker import ShardResult, run_shard_worker
 from repro.runtime.swarm import DEFAULT_TIME_SCALE, RuntimeResult
@@ -108,12 +117,30 @@ class ClusterConfig:
     #: Observability plane (:mod:`repro.obs`), broadcast to every shard;
     #: ``None`` keeps the zero-overhead no-op recorder.
     obs: Optional[ObsConfig] = None
+    #: Abort the run early once this SLO's error budget burns too fast
+    #: (:mod:`repro.obs.health`); requires telemetry (``obs`` with
+    #: ``metrics`` and ``telemetry`` on).
+    slo: Optional[SloSpec] = None
+    #: Stream decoded telemetry frames and alerts to this JSONL path (a
+    #: Prometheus text exposition file appears next to it as
+    #: ``<path>.prom``); requires telemetry.
+    telemetry_out: Optional[str] = None
+
+    @property
+    def telemetry_on(self) -> bool:
+        """Whether shards stream :class:`~repro.runtime.wire.TelemetryFrame`s."""
+        return self.obs is not None and self.obs.metrics and self.obs.telemetry
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
         if self.time_scale is not None and self.time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if (self.slo is not None or self.telemetry_out is not None) and not self.telemetry_on:
+            raise ValueError(
+                "slo/telemetry_out need the telemetry stream: pass an ObsConfig "
+                "with metrics=True and telemetry=True"
+            )
 
 
 class _Channel:
@@ -167,6 +194,30 @@ class ClusterCoordinator:
         #: Per-shard facts reported at listen time (port, hosted peers,
         #: whether the shard hosts the source).
         self.shard_infos: Dict[int, Dict[str, Any]] = {}
+        #: Decoded telemetry frame bodies in arrival order (bounded ring;
+        #: the cockpit and tests read this).
+        self.telemetry_frames: List[Dict[str, Any]] = []
+        self.health: Optional[HealthEngine] = None
+        self._health_obs: Optional[ObsRecorder] = None
+        self._writer: Optional[TelemetryWriter] = None
+        self._aborted = False
+        cfg = self.config
+        if cfg.telemetry_on:
+            self._health_obs = ObsRecorder(cfg.obs)
+            grace = (
+                cfg.slo.grace
+                if cfg.slo is not None and cfg.slo.grace is not None
+                else max(2, self.rounds // 3)
+            )
+            self.health = HealthEngine(
+                slo=cfg.slo,
+                recorder=self._health_obs,
+                grace=grace,
+                expected_shards=cfg.shards,
+            )
+            # Alert flight events inherit the newest telemetry sim-time
+            # stamp, so coordinator-side obs merges on the shards' clock.
+            self._health_obs.bind_clock(lambda: self.health._last_t)
 
     # ----------------------------------------------------------------- messaging
     def _broadcast(self, msg: Tuple) -> None:
@@ -181,6 +232,9 @@ class ClusterCoordinator:
     def _mark_dead(self, channel: _Channel) -> None:
         if channel.alive:
             channel.alive = False
+            if self.health is not None and self.phase == "running":
+                self.health.mark_shard_dead(channel.shard)
+                self._flush_alerts()
 
     def _live(self) -> List[_Channel]:
         return [c for c in self.channels if c.alive]
@@ -204,6 +258,12 @@ class ClusterCoordinator:
                 channel.error = msg[2]
                 self._mark_dead(channel)
                 continue
+            if tag == "telemetry":
+                # Handled inline rather than buffered: the health plane
+                # must see frames even while a barrier wait is draining
+                # some other tag.
+                self._on_telemetry(msg)
+                continue
             channel.buffers.setdefault(tag, []).append(msg)
         # A worker that died without an EOF reaching us yet (kill -9 is
         # detected via EOF, but be defensive about half-dead processes).
@@ -212,6 +272,46 @@ class ClusterCoordinator:
                 channel.buffers.values()
             ):
                 self._mark_dead(channel)
+
+    # ------------------------------------------------------------- telemetry
+    #: retained decoded frames; a run is shards × rounds frames, this
+    #: caps pathological cases (tiny telemetry_every, huge round counts).
+    TELEMETRY_RETAIN = 4096
+
+    def _on_telemetry(self, msg: Tuple) -> None:
+        """Decode one shard's wire-encoded frame and feed the health plane."""
+        try:
+            frame, _ = wire.decode(msg[2])
+            body = frame.body()
+        except (wire.WireError, ValueError, AttributeError):
+            return  # a malformed frame must never take down the control loop
+        body["shard"] = frame.shard
+        self.telemetry_frames.append(body)
+        if len(self.telemetry_frames) > self.TELEMETRY_RETAIN:
+            del self.telemetry_frames[0]
+        if self.health is not None:
+            self.health.observe_frame(body)
+        if self._writer is not None:
+            self._writer.frame(body)
+        self._flush_alerts()
+
+    def _flush_alerts(self) -> None:
+        """Drain newly emitted alerts into the streaming writer."""
+        if self.health is None:
+            return
+        for alert in self.health.drain_alerts():
+            if self._writer is not None:
+                self._writer.alert(alert)
+
+    def _check_slo(self) -> None:
+        """Abort (raise :class:`SloViolation`) once the SLO budget breaches."""
+        if self.config.slo is None or self.health is None:
+            return
+        breach = self.health.breach
+        if breach is None:
+            return
+        obs = self._health_obs.export() if self._health_obs is not None else None
+        raise SloViolation(breach, obs=obs)
 
     def _collect_tag(self, tag: str, timeout: float) -> Dict[int, Tuple]:
         """One ``tag`` message from every live worker (or fewer, if some
@@ -253,6 +353,8 @@ class ClusterCoordinator:
             "delta_maps": cfg.delta_maps,
             "obs": cfg.obs,
         }
+        if cfg.telemetry_out:
+            self._writer = TelemetryWriter(cfg.telemetry_out)
         try:
             for shard in range(cfg.shards):
                 parent_conn, child_conn = ctx.Pipe()
@@ -271,17 +373,31 @@ class ClusterCoordinator:
             self.phase = "running"
             self._relay_lateness()
             results = self._collect_results()
+            self._check_slo()
+        except SloViolation:
+            # An SLO abort should not sit out the workers' remaining
+            # rounds: shut them down on the short clock.
+            self._aborted = True
+            raise
         finally:
             self.phase = "done"
             self._broadcast(("close",))
             self._shutdown_processes()
+            self._flush_alerts()
+            if self._writer is not None:
+                self._writer.close()
         if not results:
             errors = [c.error for c in self.channels if c.error]
             detail = f":\n{errors[0]}" if errors else ""
             raise RuntimeError(f"every cluster shard failed{detail}")
         lost = sorted(c.shard for c in self.channels if c.shard not in results)
         return merge_shard_results(
-            list(results.values()), self.spec, self.config.shards, lost
+            list(results.values()),
+            self.spec,
+            self.config.shards,
+            lost,
+            extra_obs=self._health_obs.export() if self._health_obs is not None else None,
+            health=self.health.snapshot() if self.health is not None else None,
         )
 
     def _setup_barrier(self) -> None:
@@ -323,6 +439,7 @@ class ClusterCoordinator:
             reports = self._collect_round_lateness(round_index, round_timeout)
             worst = max(reports.values(), default=0.0)
             self._broadcast(("dilate", round_index, worst))
+            self._check_slo()
 
     def _scaled_period(self) -> float:
         return self.spec.to_config().scheduling_period * self.time_scale
@@ -363,8 +480,9 @@ class ClusterCoordinator:
         return {shard: msg[2] for shard, msg in collected.items()}
 
     def _shutdown_processes(self) -> None:
+        join_s = 1.0 if self._aborted else 10.0
         for channel in self.channels:
-            channel.process.join(timeout=10.0)
+            channel.process.join(timeout=join_s)
         for channel in self.channels:
             if channel.process.is_alive():
                 channel.process.terminate()
@@ -384,6 +502,8 @@ def merge_shard_results(
     spec: ScenarioSpec,
     shards: int,
     lost_shards: List[int],
+    extra_obs: Optional[Dict[str, Any]] = None,
+    health: Optional[Dict[str, Any]] = None,
 ) -> RuntimeResult:
     """Fold per-shard results into one :class:`RuntimeResult`.
 
@@ -392,7 +512,11 @@ def merge_shard_results(
     series), ledgers merge like any concurrent accumulation, transport
     summaries aggregate with the standard sum/max rules, and the
     cluster-only facts (socket traffic, lost shards, per-shard rows) ride
-    in ``RuntimeResult.cluster``.
+    in ``RuntimeResult.cluster``.  ``extra_obs`` joins the obs merge (the
+    coordinator's own recorder: alert flight events, the SLO breach
+    postmortem) and ``health`` — a
+    :meth:`~repro.obs.health.HealthEngine.snapshot` — lands in
+    ``cluster["health"]``.
     """
     if not results:
         raise ValueError("merge_shard_results needs at least one shard result")
@@ -441,7 +565,9 @@ def merge_shard_results(
             for r in results
         ],
     }
-    obs = merge_obs([r.obs for r in results])
+    if health is not None:
+        cluster["health"] = health
+    obs = merge_obs([r.obs for r in results] + ([extra_obs] if extra_obs else []))
     return RuntimeResult(
         system=spec.system,
         config=first.config,
@@ -476,6 +602,8 @@ def run_cluster(
     batching: bool = True,
     delta_maps: bool = True,
     obs: Optional[ObsConfig] = None,
+    slo: Optional[SloSpec] = None,
+    telemetry_out: Optional[str] = None,
 ) -> RuntimeResult:
     """Convenience wrapper: run ``spec`` as a ``shards``-process cluster."""
     config = ClusterConfig(
@@ -486,5 +614,7 @@ def run_cluster(
         batching=batching,
         delta_maps=delta_maps,
         obs=obs,
+        slo=slo,
+        telemetry_out=telemetry_out,
     )
     return ClusterCoordinator(spec, rounds=rounds, config=config).run()

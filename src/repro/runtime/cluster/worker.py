@@ -253,6 +253,22 @@ class ShardWorker:
                 return float(value)
             # A stale broadcast from an earlier boundary: keep draining.
 
+    # -------------------------------------------------------------- telemetry
+    def _ship_telemetry(self, body: Dict[str, Any]) -> None:
+        """Push one telemetry frame to the coordinator over the control seam.
+
+        The body is wire-encoded as an (uncharged)
+        :class:`~repro.runtime.wire.TelemetryFrame` so the stream speaks
+        the cluster's codec — a future multi-host control channel carries
+        the same bytes — and decoded coordinator-side into the
+        :class:`~repro.obs.health.HealthEngine`.  Best-effort like every
+        control send: a dead coordinator must not stall the swarm.
+        """
+        frame = wire.TelemetryFrame.from_body(
+            shard=self.shard_index, period=int(body.get("period", 0)), body=body
+        )
+        self._send(("telemetry", self.shard_index, wire.encode(frame)))
+
     # ------------------------------------------------------------------------ run
     async def main(self) -> None:
         payload = self.payload
@@ -299,6 +315,7 @@ class ShardWorker:
         _, start_at = await self.mail.expect("start", timeout=SETUP_TIMEOUT_S)
         swarm.start_at = float(start_at)
         swarm.control = self
+        swarm.telemetry_sink = self._ship_telemetry
         result = await swarm.run_async()
         wall_time = max(0.0, asyncio.get_running_loop().time() - swarm.start_at)
         self._send(

@@ -46,13 +46,13 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import SystemConfig
 from repro.net.message import MessageKind, MessageLedger
-from repro.obs import NULL_OBS, ObsConfig, ObsRecorder
+from repro.obs import NULL_OBS, ObsConfig, ObsRecorder, SloViolation
 from repro.runtime.clock import run_on_virtual_clock
 from repro.runtime.cluster.links import Link, LoopbackLink
 from repro.runtime.peer import LivePeer
@@ -249,6 +249,17 @@ class LiveSwarm:
         self.obs = ObsRecorder(obs) if obs is not None else NULL_OBS
         self.obs.bind_clock(self.sim_now)
         self._stall_dumped = False
+        #: Live telemetry (``docs/observability.md`` → *Live telemetry &
+        #: SLOs*): when obs is on and a sink is attached — the cluster
+        #: control pipe, a ``--telemetry-out`` writer, a ``HealthEngine``
+        #: — :meth:`_emit_telemetry` pushes one frame body per period.
+        #: No sink attached ⇒ the telemetry path costs nothing.
+        self.telemetry_sink: Optional[Callable[[Dict[str, Any]], None]] = None
+        self._telemetry_on = bool(obs is not None and obs.metrics and obs.telemetry)
+        self._telemetry_every = obs.telemetry_every if obs is not None else 1
+        self._telem_counters: Dict[str, float] = {}
+        self._telem_miss_causes: Dict[str, int] = {}
+        self._telem_flight_seen = 0
 
     # ======================================================================= build
     def build(self) -> "LiveSwarm":
@@ -446,6 +457,12 @@ class LiveSwarm:
         )
         try:
             await self._churn_loop()
+        except SloViolation as exc:
+            # The HealthEngine already recorded the breach postmortem;
+            # attach this swarm's obs export so the CLI can print it.
+            if exc.obs is None:
+                exc.obs = self.obs.export()
+            raise
         except Exception as exc:
             # Crash postmortem: dump the flight ring before unwinding.
             self.obs.postmortem(f"unhandled exception: {exc!r}")
@@ -496,6 +513,12 @@ class LiveSwarm:
             )
             if self.obs.enabled:
                 self._obs_snapshot(round_index)
+                if (
+                    self.telemetry_sink is not None
+                    and self._telemetry_on
+                    and round_index % self._telemetry_every == 0
+                ):
+                    self._emit_telemetry(round_index)
             if churn.is_static or round_index == self.rounds - 1:
                 continue
             event = churn.step(
@@ -552,6 +575,55 @@ class LiveSwarm:
         metrics.set_gauge("messages_sent", self.messages_sent)
         metrics.set_gauge("bytes_on_wire", self.bytes_on_wire)
         self.obs.snapshot(round_index)
+
+    def _emit_telemetry(self, round_index: int) -> None:
+        """Build one telemetry frame body and hand it to the attached sink.
+
+        The body is the :class:`~repro.runtime.wire.TelemetryFrame`
+        payload schema: this period's continuity sample over hosted
+        peers, current gauge levels, counter *deltas* since the last
+        frame, new miss causes and new flight-recorder events.  Pure
+        observation — nothing here touches protocol state, so an
+        obs-enabled virtual run with a sink attached stays deterministic.
+        """
+        playing = total = 0
+        for peer in list(self.peers.values()) + self.retired_peers:
+            if peer.is_source:
+                continue
+            sample = peer.playback_log.get(round_index)
+            if sample is None:
+                continue
+            total += 1
+            if sample.started and sample.continuous:
+                playing += 1
+        metrics = self.obs.metrics
+        counters: Dict[str, float] = {}
+        for name, value in metrics.counters.items():
+            delta = value - self._telem_counters.get(name, 0.0)
+            if delta:
+                counters[name] = delta
+            self._telem_counters[name] = value
+        miss_causes: Dict[str, int] = {}
+        for cause, count in self.obs.miss_causes.items():
+            delta = count - self._telem_miss_causes.get(cause, 0)
+            if delta:
+                miss_causes[cause] = delta
+            self._telem_miss_causes[cause] = count
+        self._telem_flight_seen, flight = self.obs.flight_since(self._telem_flight_seen)
+        body: Dict[str, Any] = {
+            "shard": self.obs.shard,
+            "period": round_index,
+            "t": self.sim_now(),
+            "playing": playing,
+            "total": total,
+            "continuity": (playing / total) if total else 1.0,
+            "peers_live": len(self.peers),
+            "gauges": dict(metrics.gauges),
+            "counters": counters,
+            "miss_causes": miss_causes,
+            "flight": flight,
+        }
+        self.telemetry_sink(body)
 
     async def _boundary_sync(self, round_index: int, own_lateness: float) -> None:
         """Fold this boundary's lateness into the schedule dilation.
@@ -675,9 +747,15 @@ def run_swarm(
     batching: bool = True,
     delta_maps: bool = True,
     obs: Optional[ObsConfig] = None,
+    telemetry_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> RuntimeResult:
-    """Convenience wrapper: build and run one live swarm to completion."""
-    return LiveSwarm(
+    """Convenience wrapper: build and run one live swarm to completion.
+
+    ``telemetry_sink`` receives one frame body per period when obs is on
+    (see :meth:`LiveSwarm._emit_telemetry`); a sink that raises
+    :class:`~repro.obs.SloViolation` aborts the run early.
+    """
+    swarm = LiveSwarm(
         spec,
         rounds=rounds,
         time_scale=time_scale,
@@ -686,4 +764,7 @@ def run_swarm(
         batching=batching,
         delta_maps=delta_maps,
         obs=obs,
-    ).run()
+    )
+    if telemetry_sink is not None:
+        swarm.telemetry_sink = telemetry_sink
+    return swarm.run()

@@ -39,6 +39,7 @@ of the payload bytes; the ledger charges the declared size.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass
 from enum import IntEnum
@@ -92,6 +93,7 @@ class WireKind(IntEnum):
     ROUTE = 12
     BATCH = 13
     MAP_DELTA = 14
+    TELEMETRY = 15
 
 
 # ===================================================================== messages
@@ -375,6 +377,38 @@ class FrameBatch:
     frames: Tuple[bytes, ...]
 
 
+@dataclass(frozen=True)
+class TelemetryFrame:
+    """One shard's live-telemetry push (observability plane, uncharged).
+
+    ``payload`` is an opaque UTF-8 JSON body — incremental metric
+    counters, gauge levels, per-period continuity and flight-recorder
+    deltas (see ``docs/observability.md`` → *Live telemetry & SLOs*).
+    The codec does not interpret it: the schema belongs to the obs
+    plane and may grow without a wire change.  Telemetry frames ride
+    the cluster control seam from each :class:`ShardWorker` to the
+    coordinator's :class:`~repro.obs.health.HealthEngine`; like every
+    observability byte they are physical-only and never touch the
+    paper-facing ledger (:func:`ledger_entry` returns ``None``).
+    """
+
+    shard: int
+    period: int
+    payload: bytes
+
+    def body(self) -> dict:
+        """Decode the JSON payload (the telemetry frame body dict)."""
+        return json.loads(self.payload.decode("utf-8"))
+
+    @classmethod
+    def from_body(cls, shard: int, period: int, body: dict) -> "TelemetryFrame":
+        return cls(
+            shard=shard,
+            period=period,
+            payload=json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8"),
+        )
+
+
 WireMessage = Union[
     BufferMapMsg,
     BufferMapDelta,
@@ -390,6 +424,7 @@ WireMessage = Union[
     ShardHello,
     RoutedFrame,
     FrameBatch,
+    TelemetryFrame,
 ]
 
 
@@ -430,6 +465,8 @@ _ROUTE_FRAME = struct.Struct(">IBBII")  # len, kind, flags, src, dst
 _ROUTE_E_FRAME = struct.Struct(">IBBI")  # len, kind, flags, dst (src in payload)
 _ROUTE_IDS = struct.Struct(">II")
 _BATCH_FRAME = struct.Struct(">IBH")  # len, kind, count
+_TELEM_FRAME = struct.Struct(">IBHI")  # len, kind, shard, period
+_TELEM_BODY = struct.Struct(">HI")
 
 #: RoutedFrame flag bits.
 _RF_DATA = 0x01
@@ -721,6 +758,19 @@ def _enc_batch(msg: FrameBatch) -> bytes:
     return head + b"".join(parts)
 
 
+def _enc_telemetry(msg: TelemetryFrame) -> bytes:
+    try:
+        head = _TELEM_FRAME.pack(
+            1 + _TELEM_BODY.size + len(msg.payload),
+            WireKind.TELEMETRY,
+            msg.shard,
+            msg.period,
+        )
+    except struct.error as exc:
+        raise WireError(f"telemetry field out of range: {exc}") from exc
+    return head + msg.payload
+
+
 _ENCODERS: Dict[type, Callable[..., bytes]] = {
     BufferMapMsg: _enc_buffer_map,
     BufferMapDelta: _enc_map_delta,
@@ -736,6 +786,7 @@ _ENCODERS: Dict[type, Callable[..., bytes]] = {
     ShardHello: _enc_hello,
     RoutedFrame: _enc_route,
     FrameBatch: _enc_batch,
+    TelemetryFrame: _enc_telemetry,
 }
 
 
@@ -1024,6 +1075,17 @@ def _dec_batch(view: memoryview, start: int, end: int) -> FrameBatch:
     return FrameBatch(frames=tuple(frames))
 
 
+def _dec_telemetry(view: memoryview, start: int, end: int) -> TelemetryFrame:
+    if end - start < _TELEM_BODY.size:
+        raise WireError("telemetry body too short")
+    shard, period = _TELEM_BODY.unpack_from(view, start)
+    return TelemetryFrame(
+        shard=shard,
+        period=period,
+        payload=bytes(view[start + _TELEM_BODY.size : end]),
+    )
+
+
 _DECODERS: Dict[int, Callable[[memoryview, int, int], WireMessage]] = {
     WireKind.BUFFER_MAP: _dec_buffer_map,
     WireKind.SEGMENT_REQUEST: _dec_request,
@@ -1039,6 +1101,7 @@ _DECODERS: Dict[int, Callable[[memoryview, int, int], WireMessage]] = {
     WireKind.ROUTE: _dec_route,
     WireKind.BATCH: _dec_batch,
     WireKind.MAP_DELTA: _dec_map_delta,
+    WireKind.TELEMETRY: _dec_telemetry,
 }
 _DECODERS = {int(kind): fn for kind, fn in _DECODERS.items()}
 
@@ -1165,7 +1228,9 @@ def ledger_entry(msg: WireMessage) -> Optional[Tuple[MessageKind, float]]:
     *inner* frames were each charged once, at their originating peer,
     exactly as on the loopback transport.  An 8-byte observability trace
     tail (:mod:`repro.obs`) on a segment frame is physical-only too: a
-    traced :class:`SegmentData` still charges its declared ``size_bits``.
+    traced :class:`SegmentData` still charges its declared ``size_bits``,
+    and a :class:`TelemetryFrame` — pure observability, no protocol
+    effect — is never charged at all.
     """
     if isinstance(msg, BufferMapMsg):
         return (MessageKind.BUFFER_MAP, float(buffer_map_bits(msg.capacity)))
@@ -1180,7 +1245,15 @@ def ledger_entry(msg: WireMessage) -> Optional[Tuple[MessageKind, float]]:
         return (MessageKind.MEMBERSHIP, float(PING_MESSAGE_BITS))
     if isinstance(
         msg,
-        (SegmentRequest, SegmentNack, CreditGrant, ShardHello, RoutedFrame, FrameBatch),
+        (
+            SegmentRequest,
+            SegmentNack,
+            CreditGrant,
+            ShardHello,
+            RoutedFrame,
+            FrameBatch,
+            TelemetryFrame,
+        ),
     ):
         return None
     raise WireError(f"no ledger rule for {type(msg).__name__}")

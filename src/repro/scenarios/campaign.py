@@ -27,6 +27,7 @@ concurrent peers with the same tooling.  Three properties matter:
 from __future__ import annotations
 
 import multiprocessing
+import re
 import sys
 import time
 import traceback
@@ -34,6 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.obs import ObsConfig
 from repro.scenarios.results import CellResult, ResultsStore
 from repro.scenarios.spec import ScenarioSpec, load_scenarios
 from repro.sim.rng import derive_seed
@@ -60,6 +62,22 @@ def cell_seed_for(seed: int, scenario: str, num_nodes: int) -> int:
     return derive_seed(seed, f"campaign/{scenario}/n{num_nodes}")
 
 
+def cell_obs_filename(payload: Mapping[str, Any]) -> str:
+    """The collision-free obs JSONL name of one grid cell.
+
+    Every coordinate that distinguishes cells within a campaign —
+    scenario, system, node count, sweep seed, backend — lands in the
+    name, so no two cells of one grid (or of a sim/runtime re-run into
+    the same directory) can overwrite each other's export.
+    """
+    raw = (
+        f"{payload['scenario']['name']}_{payload['system']}"
+        f"_n{payload['num_nodes']}_s{payload['seed']}"
+        f"_{payload.get('backend', 'sim')}"
+    )
+    return f"obs_{re.sub(r'[^A-Za-z0-9._-]+', '-', raw)}.jsonl"
+
+
 def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
     """Execute one campaign cell; top-level so worker processes can pickle it.
 
@@ -83,12 +101,15 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
         seed=payload["cell_seed"],
         system=payload["system"],
     )
+    obs_cfg = payload.get("obs")
     start = time.perf_counter()
     if backend == "runtime":
         from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm
 
         time_scale = payload.get("time_scale") or DEFAULT_TIME_SCALE
-        result = LiveSwarm(spec, time_scale=time_scale, clock="virtual").run()
+        result = LiveSwarm(
+            spec, time_scale=time_scale, clock="virtual", obs=obs_cfg
+        ).run()
         joined, left = float(result.peers_joined), float(result.peers_left)
     elif backend == "cluster":
         from repro.runtime.cluster import run_cluster
@@ -97,6 +118,7 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
             spec,
             shards=payload.get("shards") or 2,
             time_scale=payload.get("time_scale"),
+            obs=obs_cfg,
         )
         joined, left = float(result.peers_joined), float(result.peers_left)
     else:
@@ -104,6 +126,13 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
         joined = float(sum(r.nodes_joined for r in result.rounds))
         left = float(sum(r.nodes_left for r in result.rounds))
     wall_time = time.perf_counter() - start
+    obs_dir = payload.get("obs_dir")
+    if obs_dir and getattr(result, "obs", None):
+        from repro.obs import write_obs_jsonl
+
+        out_dir = Path(obs_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        write_obs_jsonl(out_dir / cell_obs_filename(payload), result.obs)
     series = result.continuity_series()
     metrics = {
         "stable_continuity": float(result.stable_continuity()),
@@ -162,6 +191,13 @@ class CampaignSpec:
             granularity only, not wall time).
         shards: worker processes per cluster-backend cell (ignored by
             the other backends).
+        obs: observability plane for runtime/cluster-backend cells
+            (:class:`~repro.obs.ObsConfig` is picklable, so it ships in
+            the cell payloads); the sim backend has no obs plane and
+            rejects it.
+        obs_dir: directory for per-cell obs JSONL exports, named by
+            :func:`cell_obs_filename` so grid cells never collide;
+            requires ``obs``.
     """
 
     scenarios: Tuple[ScenarioSpec, ...]
@@ -172,6 +208,8 @@ class CampaignSpec:
     backend: str = "sim"
     time_scale: Optional[float] = None
     shards: int = 2
+    obs: Optional[ObsConfig] = None
+    obs_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -186,6 +224,13 @@ class CampaignSpec:
             raise ValueError("time_scale must be positive")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.obs is not None and self.backend == "sim":
+            raise ValueError(
+                "the sim backend has no observability plane; obs campaigns "
+                "need --backend runtime or cluster"
+            )
+        if self.obs_dir is not None and self.obs is None:
+            raise ValueError("obs_dir needs an obs config")
         names = [scenario.name for scenario in self.scenarios]
         duplicates = sorted({name for name in names if names.count(name) > 1})
         if duplicates:
@@ -228,6 +273,8 @@ class CampaignSpec:
                                 "backend": self.backend,
                                 "time_scale": self.time_scale,
                                 "shards": self.shards,
+                                "obs": self.obs,
+                                "obs_dir": self.obs_dir,
                             }
                         )
         return payloads
@@ -309,6 +356,8 @@ def run_campaign(
     backend: str = "sim",
     time_scale: Optional[float] = None,
     shards: int = 2,
+    obs: Optional[ObsConfig] = None,
+    obs_dir: Optional[Union[str, Path]] = None,
 ) -> ResultsStore:
     """Convenience wrapper: resolve scenarios, build the grid, run it.
 
@@ -328,6 +377,8 @@ def run_campaign(
         backend=backend,
         time_scale=time_scale,
         shards=shards,
+        obs=obs,
+        obs_dir=None if obs_dir is None else str(obs_dir),
     )
     store = ResultsStore(path=results_path)
     return CampaignRunner(campaign, workers=workers).run(store)

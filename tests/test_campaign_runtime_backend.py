@@ -241,3 +241,69 @@ class TestClusterBackend:
         assert set(cell.metrics) == set(METRIC_NAMES)
         assert cell.metrics["stable_continuity"] > 0.0
         assert cell.cell_seed == cell_seed_for(0, "static", 24)
+
+
+class TestCampaignObs:
+    """``--obs`` rides the grid: collision-free per-cell obs JSONL exports."""
+
+    def test_runtime_grid_writes_one_obs_file_per_cell(self, tmp_path):
+        from repro.obs import ObsConfig, load_obs_jsonl
+
+        store = run_campaign(
+            [tiny_spec(num_nodes=20, rounds=4)],
+            seeds=(0, 1),
+            backend="runtime",
+            obs=ObsConfig(trace_sample=8),
+            obs_dir=tmp_path,
+        )
+        assert store.is_complete
+        files = sorted(p.name for p in tmp_path.glob("obs_*.jsonl"))
+        assert files == [
+            "obs_static_continustreaming_n20_s0_runtime.jsonl",
+            "obs_static_continustreaming_n20_s1_runtime.jsonl",
+        ]
+        for path in tmp_path.glob("obs_*.jsonl"):
+            loaded = load_obs_jsonl(path)
+            assert loaded["metrics"]["series"], path
+        # ...and the grid results themselves are untouched by obs.
+        for cell in store:
+            assert cell.metrics["stable_continuity"] > 0.5
+
+    def test_cell_obs_filenames_cannot_collide_and_are_sanitized(self):
+        from repro.scenarios.campaign import cell_obs_filename
+
+        payloads = [
+            {"scenario": {"name": "static"}, "system": "continustreaming",
+             "num_nodes": 20, "seed": 0, "backend": "runtime"},
+            {"scenario": {"name": "static"}, "system": "continustreaming",
+             "num_nodes": 20, "seed": 1, "backend": "runtime"},
+            {"scenario": {"name": "static"}, "system": "continustreaming",
+             "num_nodes": 200, "seed": 0, "backend": "runtime"},
+            {"scenario": {"name": "static"}, "system": "continustreaming",
+             "num_nodes": 20, "seed": 0, "backend": "cluster"},
+            {"scenario": {"name": "paper-dynamic"}, "system": "continustreaming",
+             "num_nodes": 20, "seed": 0, "backend": "runtime"},
+        ]
+        names = [cell_obs_filename(p) for p in payloads]
+        assert len(set(names)) == len(names), names
+        hostile = cell_obs_filename(
+            {"scenario": {"name": "evil/../name with spaces"},
+             "system": "sys$tem", "num_nodes": 5, "seed": 0}
+        )
+        assert "/" not in hostile and " " not in hostile
+        assert hostile.startswith("obs_") and hostile.endswith(".jsonl")
+
+    def test_sim_backend_rejects_obs(self):
+        from repro.obs import ObsConfig
+
+        with pytest.raises(ValueError, match="sim backend"):
+            CampaignSpec(
+                scenarios=(tiny_spec(),), backend="sim",
+                obs=ObsConfig(),
+            )
+
+    def test_obs_dir_requires_obs(self):
+        with pytest.raises(ValueError, match="obs"):
+            CampaignSpec(
+                scenarios=(tiny_spec(),), backend="runtime", obs_dir="/tmp/x",
+            )

@@ -9,6 +9,7 @@ slows the swarm clock on busy machines, exactly as for the single-process
 runtime tests.
 """
 
+import dataclasses
 import os
 import threading
 import time
@@ -17,7 +18,14 @@ import pytest
 
 from repro.core.config import SystemConfig
 from repro.net.message import MessageKind, MessageLedger
-from repro.obs import ObsConfig, write_obs_jsonl
+from repro.obs import (
+    Cockpit,
+    ObsConfig,
+    SloSpec,
+    SloViolation,
+    load_telemetry_jsonl,
+    write_obs_jsonl,
+)
 from repro.runtime.cluster import (
     ClusterConfig,
     ClusterCoordinator,
@@ -289,8 +297,22 @@ class TestKillOneShard:
         )
         channel = next(c for c in coordinator.channels if c.shard == victim)
         channel.process.kill()
+        # The HealthEngine must raise the shard_dead alert *while the run
+        # is still going* — that is the live-telemetry acceptance: the
+        # operator learns about the death from the stream, not the exit.
+        saw_alert_live = False
+        alert_deadline = time.monotonic() + 120
+        while thread.is_alive() and time.monotonic() < alert_deadline:
+            health = coordinator.health
+            if health is not None and any(
+                a.kind == "shard_dead" and a.shard == victim for a in health.alerts
+            ):
+                saw_alert_live = True
+                break
+            time.sleep(0.02)
         thread.join(timeout=180)
         assert not thread.is_alive(), "coordinator hung after a shard died"
+        assert saw_alert_live, "shard_dead alert did not surface before run end"
         result = outcome["result"]
         assert result.cluster["shards_lost"] == 1
         assert result.cluster["lost_shards"] == [victim]
@@ -321,3 +343,78 @@ class TestKillOneShard:
             '"type": "postmortem"' in line or '"type":"postmortem"' in line
             for line in artifact.read_text().splitlines()
         )
+        # The telemetry stream stayed consistent through the death: both
+        # shards fed frames, the survivor kept reporting past the
+        # victim's last period, and the cockpit renders the whole story.
+        frames = coordinator.telemetry_frames
+        shards_seen = {f["shard"] for f in frames}
+        assert shards_seen == {0, 1}, frames
+        victim_last = max(f["period"] for f in frames if f["shard"] == victim)
+        survivor_last = max(f["period"] for f in frames if f["shard"] != victim)
+        assert survivor_last > victim_last
+        cockpit = Cockpit()
+        for body in frames:
+            cockpit.feed(body)
+        for alert in coordinator.health.alerts:
+            cockpit.feed_alert(alert)
+        rendered = cockpit.render()
+        assert "shard 0" in rendered and "shard 1" in rendered
+        assert "shard_dead" in rendered
+        # ...and the run-level health verdict survives into the result.
+        health = result.cluster["health"]
+        assert health["dead_shards"] == [victim]
+        assert any(a["kind"] == "shard_dead" for a in health["alerts"])
+
+
+class TestClusterSlo:
+    """``--slo`` aborts a breaching cluster run early (the acceptance)."""
+
+    def test_burning_run_aborts_with_postmortem_and_stream(self, tmp_path):
+        # 45% frame loss cannot hold continuity>=0.95: the budget burns
+        # at well over 2x from the first scored period.
+        spec = builtin_scenario("static").scaled(num_nodes=40, rounds=24, seed=5)
+        spec = dataclasses.replace(spec, loss_rate=0.45)
+        telemetry_path = tmp_path / "telemetry.jsonl"
+        slo = SloSpec.parse("continuity>=0.95:burn=2x:grace=4")
+        with pytest.raises(SloViolation) as excinfo:
+            run_cluster(
+                spec,
+                shards=2,
+                rounds=24,
+                time_scale=SMALL_SCALE,
+                obs=ObsConfig(trace_sample=8),
+                slo=slo,
+                telemetry_out=str(telemetry_path),
+            )
+        exc = excinfo.value
+        assert exc.alert.kind == "continuity_burn"
+        assert exc.alert.severity == "critical"
+        # Breach confirms within 2 periods of becoming eligible (grace=4,
+        # confirm=2 => period 5), well before the 24-round run ends.
+        assert exc.alert.period is not None
+        assert exc.alert.period <= 7, exc.alert
+        assert "burned the error budget" in exc.alert.message
+        # The abort carries the obs export whose postmortem names the breach.
+        assert exc.obs is not None
+        assert any(
+            "SLO breach" in dump["reason"] for dump in exc.obs["postmortems"]
+        ), exc.obs["postmortems"]
+        # The streaming JSONL captured the run up to the abort: telemetry
+        # frames from both shards plus the breach alert, but nowhere near
+        # the full 24 periods x 2 shards.
+        records = list(load_telemetry_jsonl(telemetry_path))
+        frames = [r for r in records if r["type"] == "telemetry"]
+        alerts = [r for r in records if r["type"] == "alert"]
+        assert {f["shard"] for f in frames} == {0, 1}
+        assert len(frames) < 48
+        assert any(a["kind"] == "continuity_burn" for a in alerts)
+        # The cockpit renders the same stream a live `obs --live` would.
+        cockpit = Cockpit()
+        for record in records:
+            cockpit.feed_record(record)
+        rendered = cockpit.render()
+        assert "continuity_burn" in rendered
+        assert "shard 0" in rendered and "shard 1" in rendered
+        # ...and the Prometheus exposition file is left for scrapers.
+        prom = telemetry_path.with_suffix(".jsonl.prom").read_text()
+        assert "# TYPE continu_continuity gauge" in prom

@@ -277,3 +277,88 @@ class TestJourneyAttribution:
         misses = [s for s in lossy_obs["spans"] if s["event"] == "miss"]
         assert misses
         assert all(s.get("cause") for s in misses)
+
+
+class TestMergeObsOrdering:
+    """Merged multi-shard span streams must be deterministically ordered."""
+
+    def _shard_export(self, shard, spans):
+        return {
+            "shard": shard,
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}, "series": {}},
+            "spans": spans,
+            "flight": [],
+            "postmortems": [],
+            "spans_dropped": 0,
+        }
+
+    def test_equal_timestamps_tie_break_on_trace_then_seq(self):
+        # Virtual-clock shards stamp whole batches at the same sim
+        # instant; the merged order must not depend on shard arrival.
+        span = lambda trace, seq, shard: {
+            "trace": trace, "event": "ship", "peer": 1, "segment": 2,
+            "t": 4.0, "seq": seq, "shard": shard,
+        }
+        a = self._shard_export(0, [span(9, 1, 0), span(2, 2, 0)])
+        b = self._shard_export(1, [span(2, 1, 1), span(9, 2, 1)])
+        merged_ab = merge_obs([a, b])
+        merged_ba = merge_obs([b, a])
+        key = lambda s: (s["trace"], s["seq"], s["shard"])
+        assert [key(s) for s in merged_ab["spans"]] == [
+            (2, 1, 1), (2, 2, 0), (9, 1, 0), (9, 2, 1),
+        ]
+        assert merged_ab["spans"] == merged_ba["spans"]
+
+    def test_distinct_timestamps_still_sort_on_time_first(self):
+        early = {"trace": 9, "event": "request", "peer": 1, "segment": 2,
+                 "t": 1.0, "seq": 5, "shard": 1}
+        late = {"trace": 1, "event": "play", "peer": 1, "segment": 2,
+                "t": 2.0, "seq": 1, "shard": 0}
+        merged = merge_obs([
+            self._shard_export(0, [late]), self._shard_export(1, [early]),
+        ])
+        assert [s["t"] for s in merged["spans"]] == [1.0, 2.0]
+
+
+class TestReportRobustness:
+    """Partial exports from dead runs must render, not raise."""
+
+    def test_empty_file_renders_a_no_series_note(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text("")
+        loaded = load_obs_jsonl(path)
+        report = render_report(loaded)
+        assert "(no metric series in this export)" in report
+
+    def test_truncated_trailing_line_is_skipped_and_counted(self, tmp_path):
+        rec = ObsRecorder(ObsConfig())
+        rec.inc("sent", 3)
+        rec.snapshot(0)
+        path = write_obs_jsonl(tmp_path / "obs.jsonl", rec.export())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "metric", "name": "sent", "per')  # torn mid-append
+        loaded = load_obs_jsonl(path)
+        assert loaded["skipped_lines"] == 1
+        report = render_report(loaded)
+        assert "sent" in report
+        assert "1 malformed/unknown JSONL lines skipped" in report
+
+    def test_postmortems_only_file_renders(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        records = [
+            {"type": "postmortem", "reason": "stall", "t": 3.0,
+             "events": [{"event": "dilate", "t": 2.5}]},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        loaded = load_obs_jsonl(path)
+        report = render_report(loaded)
+        assert "(no metric series in this export)" in report
+        assert "stall" in report
+        assert "dilate" in report
+
+    def test_unknown_record_types_are_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text('{"type": "wat"}\n[1, 2, 3]\nnot json at all\n')
+        loaded = load_obs_jsonl(path)
+        assert loaded["skipped_lines"] == 3
+        assert "malformed/unknown" in render_report(loaded)

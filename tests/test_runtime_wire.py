@@ -97,6 +97,13 @@ def sample_messages():
         wire.BufferMapDelta(
             sender=3, seq=1, newest_id=-1, head_id=0, capacity=600, runs=(),
         ),
+        # -- observability plane: telemetry pushes (opaque JSON bodies)
+        wire.TelemetryFrame.from_body(
+            shard=0, period=3,
+            body={"continuity": 0.97, "playing": 29, "total": 30},
+        ),
+        wire.TelemetryFrame(shard=2**16 - 1, period=2**32 - 1, payload=b"{}"),
+        wire.TelemetryFrame(shard=1, period=0, payload=b""),
     ]
 
 
@@ -121,6 +128,7 @@ class TestRoundTrip:
             wire.WireKind.ROUTE: "RoutedFrame",
             wire.WireKind.BATCH: "FrameBatch",
             wire.WireKind.MAP_DELTA: "BufferMapDelta",
+            wire.WireKind.TELEMETRY: "TelemetryFrame",
         }
         assert set(by_kind) == set(wire.WireKind), "update the map for new kinds"
         assert covered == set(by_kind.values())
@@ -407,3 +415,22 @@ class TestLedgerAccounting:
             wire.ShardHello(shard_index=0, num_shards=2, token=1, ring_size=8192)
         ) is None
         assert wire.ledger_entry(wire.RoutedFrame(src=1, dst=2, payload=b"x")) is None
+
+    def test_telemetry_frames_are_never_charged(self):
+        # The observability plane is physical-only: a telemetry push must
+        # not perturb the paper-facing ledger no matter how large its body.
+        small = wire.TelemetryFrame.from_body(shard=0, period=1, body={})
+        big = wire.TelemetryFrame.from_body(
+            shard=3, period=9,
+            body={"counters": {f"k{i}": i for i in range(200)}},
+        )
+        assert wire.ledger_entry(small) is None
+        assert wire.ledger_entry(big) is None
+
+    def test_telemetry_body_round_trips_through_the_codec(self):
+        body = {"continuity": 0.5, "miss_causes": {"deadline": 2}, "period": 7}
+        frame = wire.TelemetryFrame.from_body(shard=2, period=7, body=body)
+        decoded, _ = wire.decode(wire.encode(frame))
+        assert decoded.shard == 2
+        assert decoded.period == 7
+        assert decoded.body() == body

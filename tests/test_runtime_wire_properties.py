@@ -156,6 +156,14 @@ wire_messages = st.one_of(
     ),
     buffer_map_deltas(),
     frame_batches(),
+    # Telemetry payloads are opaque bytes on the wire — arbitrary byte
+    # strings (not just valid JSON) must round-trip unchanged.
+    st.builds(
+        wire.TelemetryFrame,
+        shard=u16,
+        period=u32,
+        payload=st.binary(max_size=256),
+    ),
 )
 
 
