@@ -115,6 +115,21 @@ def _telemetry_plane(args: argparse.Namespace, swarm, rounds: int):
     return engine, writer
 
 
+def _fidelity_lines(result) -> List[str]:
+    """Summary line for a hybrid-fidelity run ('' for full fidelity)."""
+    fid = result.fidelity
+    if not fid:
+        return []
+    slim = int(fid.get("slim_peers", 0))
+    mem = int(fid.get("slim_memory_bytes", 0))
+    per_peer = f" ({mem / slim:.1f} B/slim peer)" if slim else ""
+    return [
+        f"  hybrid: {fid.get('core_peers', 0)} live core peers + "
+        f"{slim} slim peers of {fid.get('total_peers', 0)} total, "
+        f"slim tier {mem} B{per_peer}"
+    ]
+
+
 def _obs_lines(result, args: argparse.Namespace) -> List[str]:
     """Summary lines + JSONL export for an obs-enabled run."""
     obs = result.obs
@@ -326,6 +341,8 @@ def cmd_campaign(args: argparse.Namespace) -> str:
             shards=args.shards,
             obs=obs_cfg,
             obs_dir=obs_dir,
+            fidelity=args.fidelity,
+            core_peers=args.core_peers,
         )
     except (ValueError, RuntimeError) as exc:
         # ValueError: bad scenario names/specs; RuntimeError: e.g. a YAML
@@ -374,6 +391,14 @@ def cmd_runtime(args: argparse.Namespace) -> str:
 
     names = args.scenario or ["static"]
     time_scale = DEFAULT_TIME_SCALE if args.time_scale is None else args.time_scale
+    if args.fidelity == "hybrid" and (args.parity or args.parity_matrix):
+        raise SystemExit(
+            "--fidelity hybrid does not combine with the parity harness "
+            "(parity pins the full runtime against the sim; hybrid parity "
+            "is pinned by tests/test_runtime_hybrid.py)"
+        )
+    if args.core_peers is not None and args.fidelity != "hybrid":
+        raise SystemExit("--core-peers needs --fidelity hybrid")
     if args.parity_matrix:
         # Matrix mode defaults to run_parity_matrix's own scale (120
         # nodes / 40 rounds — what the nightly acceptance runs), not the
@@ -404,14 +429,22 @@ def cmd_runtime(args: argparse.Namespace) -> str:
         from repro.obs import SloViolation
 
         spec = spec.scaled(num_nodes=nodes, rounds=rounds, seed=args.seed)
-        swarm = LiveSwarm(
-            spec,
+        swarm_kwargs = dict(
             time_scale=time_scale,
             clock=args.clock,
             batching=not args.no_batch,
             delta_maps=not args.no_delta,
             obs=_obs_config(args),
         )
+        if args.fidelity == "hybrid":
+            from repro.runtime.slim import HybridSwarm
+
+            try:
+                swarm = HybridSwarm(spec, core_peers=args.core_peers, **swarm_kwargs)
+            except ValueError as exc:
+                raise SystemExit(f"runtime error: {exc}") from exc
+        else:
+            swarm = LiveSwarm(spec, **swarm_kwargs)
         engine, writer = _telemetry_plane(args, swarm, rounds)
         try:
             result = swarm.run()
@@ -442,6 +475,7 @@ def cmd_runtime(args: argparse.Namespace) -> str:
             f"(+{result.clock_dilation_s:.2f}s), "
             f"wall {result.wall_time_s:.2f}s",
         ]
+        lines.extend(_fidelity_lines(result))
         lines.extend(_obs_lines(result, args))
         lines.extend(
             _telemetry_lines(args, engine.snapshot() if engine is not None else None)
@@ -496,7 +530,11 @@ def cmd_cluster(args: argparse.Namespace) -> str:
             obs=_obs_config(args),
             slo=slo,
             telemetry_out=args.telemetry_out,
+            fidelity=args.fidelity,
+            core_peers=args.core_peers,
         )
+    except ValueError as exc:
+        raise SystemExit(f"cluster error: {exc}") from exc
     except SloViolation as exc:
         _print_slo_breach(exc)
         raise SystemExit(f"cluster SLO breach: {exc}") from exc
@@ -540,6 +578,7 @@ def cmd_cluster(args: argparse.Namespace) -> str:
             )
             + "  (* hosts the source)"
         )
+    lines.extend(_fidelity_lines(result))
     lines.extend(_obs_lines(result, args))
     lines.extend(_telemetry_lines(args, cluster.get("health")))
     out = "\n".join(lines)
@@ -717,6 +756,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--clock", choices=("wall", "virtual"), default="wall",
         help="runtime clock: real time (default) or deterministic virtual "
         "time with zero wall waiting")
+    runtime_group.add_argument(
+        "--fidelity", choices=("full", "hybrid"), default="full",
+        help="runtime fidelity tier: 'full' (default) runs every peer as a "
+        "live task; 'hybrid' runs a live core of --core-peers plus an "
+        "array-backed slim statistical tier for the rest, scaling to "
+        "six-figure swarms (runtime/campaign/cluster backends; see "
+        "docs/runtime.md)")
+    runtime_group.add_argument(
+        "--core-peers", type=int, default=None, metavar="N",
+        help="full-fidelity live peers in a --fidelity hybrid run "
+        "(default: 50, capped by the swarm size)")
     runtime_group.add_argument(
         "--parity", action="store_true",
         help="run the sim-vs-runtime parity harness instead of a single swarm")

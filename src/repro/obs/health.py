@@ -236,11 +236,23 @@ class HealthEngine:
         self._closed_through = -1
         self._burn_streak = 0
         self._last_t = 0.0
+        #: frames dropped for lacking a valid integer shard id (torn or
+        #: foreign telemetry must not pollute shard 0's series).
+        self.rejected_frames = 0
 
     # ------------------------------------------------------------------ intake
     def observe_frame(self, body: Dict[str, Any]) -> None:
-        """Fold one telemetry frame body (a plain dict) into the rollup."""
-        shard = int(body.get("shard") or 0)
+        """Fold one telemetry frame body (a plain dict) into the rollup.
+
+        Frames without a valid integer ``shard`` id are rejected (counted
+        in :attr:`rejected_frames`) rather than coerced onto shard 0 —
+        a torn or foreign frame must not pollute another shard's
+        continuity series or trip its watchdogs.
+        """
+        shard = body.get("shard")
+        if isinstance(shard, bool) or not isinstance(shard, int) or shard < 0:
+            self.rejected_frames += 1
+            return
         period = int(body.get("period", 0))
         t = float(body.get("t", 0.0))
         self._last_t = max(self._last_t, t)
@@ -450,6 +462,7 @@ class HealthEngine:
             "breach": self.breach.to_dict() if self.breach is not None else None,
             "continuity": [list(p) for p in self.continuity],
             "closed_through": self._closed_through,
+            "rejected_frames": self.rejected_frames,
             "dead_shards": sorted(self.dead_shards),
             "shards": {shard: st.to_dict() for shard, st in sorted(self.shards.items())},
         }

@@ -37,6 +37,12 @@ from repro.runtime.parity import (
     run_parity,
     run_parity_matrix,
 )
+from repro.runtime.slim import (
+    HybridShardSwarm,
+    HybridSwarm,
+    SlimTier,
+    default_core_peers,
+)
 from repro.runtime.swarm import (
     CLOCKS,
     DEFAULT_TIME_SCALE,
@@ -89,6 +95,8 @@ __all__ = [
     "FrameBatch",
     "FrameDecoder",
     "Handover",
+    "HybridShardSwarm",
+    "HybridSwarm",
     "LiveSwarm",
     "PARITY_TOLERANCE",
     "ParityMatrix",
@@ -98,6 +106,7 @@ __all__ = [
     "RuntimeResult",
     "SegmentData",
     "SegmentRequest",
+    "SlimTier",
     "TransportConfig",
     "TransportStats",
     "TransportSummary",
@@ -106,6 +115,7 @@ __all__ = [
     "WireError",
     "WireKind",
     "decode",
+    "default_core_peers",
     "encode",
     "encode_batch",
     "frame_count",

@@ -125,6 +125,13 @@ class ClusterConfig:
     #: Prometheus text exposition file appears next to it as
     #: ``<path>.prom``); requires telemetry.
     telemetry_out: Optional[str] = None
+    #: ``"full"`` runs every peer as a live task; ``"hybrid"`` hosts a
+    #: full-fidelity core of ``core_peers`` live peers plus an
+    #: array-backed slim tier for the rest (:mod:`repro.runtime.slim`).
+    fidelity: str = "full"
+    #: Live-core size for hybrid runs; ``None`` picks
+    #: :func:`~repro.runtime.slim.default_core_peers`.
+    core_peers: Optional[int] = None
 
     @property
     def telemetry_on(self) -> bool:
@@ -141,6 +148,10 @@ class ClusterConfig:
                 "slo/telemetry_out need the telemetry stream: pass an ObsConfig "
                 "with metrics=True and telemetry=True"
             )
+        if self.fidelity not in ("full", "hybrid"):
+            raise ValueError(f"fidelity must be 'full' or 'hybrid', got {self.fidelity!r}")
+        if self.core_peers is not None and self.fidelity != "hybrid":
+            raise ValueError("core_peers only applies to fidelity='hybrid'")
 
 
 class _Channel:
@@ -181,10 +192,22 @@ class ClusterCoordinator:
         self.rounds = int(spec.rounds if rounds is None else rounds)
         if self.rounds < 1:
             raise ValueError("rounds must be >= 1")
+        #: Hybrid runs only spawn live tasks for the core, so the adaptive
+        #: clock (and nothing else) sizes by the core, not the population.
+        self.core_peers: Optional[int] = None
+        if self.config.fidelity == "hybrid":
+            from repro.runtime.slim import default_core_peers
+
+            self.core_peers = (
+                self.config.core_peers
+                if self.config.core_peers is not None
+                else default_core_peers(spec.num_nodes)
+            )
+        live_nodes = spec.num_nodes if self.core_peers is None else self.core_peers
         self.time_scale = (
             self.config.time_scale
             if self.config.time_scale is not None
-            else adaptive_time_scale(spec.num_nodes, self.config.shards)
+            else adaptive_time_scale(live_nodes, self.config.shards)
         )
         self.token = secrets.randbits(32)
         #: Live phase marker: ``"init" → "setup" → "running" → "done"``
@@ -352,6 +375,8 @@ class ClusterCoordinator:
             "batching": cfg.batching,
             "delta_maps": cfg.delta_maps,
             "obs": cfg.obs,
+            "fidelity": cfg.fidelity,
+            "core_peers": self.core_peers,
         }
         if cfg.telemetry_out:
             self._writer = TelemetryWriter(cfg.telemetry_out)
@@ -391,6 +416,16 @@ class ClusterCoordinator:
             detail = f":\n{errors[0]}" if errors else ""
             raise RuntimeError(f"every cluster shard failed{detail}")
         lost = sorted(c.shard for c in self.channels if c.shard not in results)
+        fidelity = None
+        if self.config.fidelity == "hybrid":
+            rows = list(results.values())
+            fidelity = {
+                "mode": "hybrid",
+                "core_peers": self.core_peers,
+                "slim_peers": sum(r.slim_peers for r in rows),
+                "slim_memory_bytes": sum(r.slim_memory_bytes for r in rows),
+                "total_peers": int(self.spec.num_nodes),
+            }
         return merge_shard_results(
             list(results.values()),
             self.spec,
@@ -398,6 +433,7 @@ class ClusterCoordinator:
             lost,
             extra_obs=self._health_obs.export() if self._health_obs is not None else None,
             health=self.health.snapshot() if self.health is not None else None,
+            fidelity=fidelity,
         )
 
     def _setup_barrier(self) -> None:
@@ -504,6 +540,7 @@ def merge_shard_results(
     lost_shards: List[int],
     extra_obs: Optional[Dict[str, Any]] = None,
     health: Optional[Dict[str, Any]] = None,
+    fidelity: Optional[Dict[str, Any]] = None,
 ) -> RuntimeResult:
     """Fold per-shard results into one :class:`RuntimeResult`.
 
@@ -567,6 +604,8 @@ def merge_shard_results(
     }
     if health is not None:
         cluster["health"] = health
+    if fidelity is not None:
+        cluster["fidelity"] = fidelity
     obs = merge_obs([r.obs for r in results] + ([extra_obs] if extra_obs else []))
     return RuntimeResult(
         system=spec.system,
@@ -589,6 +628,7 @@ def merge_shard_results(
         shards=shards,
         cluster=cluster,
         obs=obs,
+        fidelity=fidelity,
     )
 
 
@@ -604,6 +644,8 @@ def run_cluster(
     obs: Optional[ObsConfig] = None,
     slo: Optional[SloSpec] = None,
     telemetry_out: Optional[str] = None,
+    fidelity: str = "full",
+    core_peers: Optional[int] = None,
 ) -> RuntimeResult:
     """Convenience wrapper: run ``spec`` as a ``shards``-process cluster."""
     config = ClusterConfig(
@@ -616,5 +658,7 @@ def run_cluster(
         obs=obs,
         slo=slo,
         telemetry_out=telemetry_out,
+        fidelity=fidelity,
+        core_peers=core_peers,
     )
     return ClusterCoordinator(spec, rounds=rounds, config=config).run()

@@ -80,6 +80,10 @@ class ShardResult:
     bytes_on_wire: int = 0
     #: This shard's exported observability plane (``None`` when disabled).
     obs: Optional[Dict[str, Any]] = None
+    #: Hybrid-fidelity facts: slim peers this shard modeled and the bytes
+    #: their array state held (0 for full-fidelity shards).
+    slim_peers: int = 0
+    slim_memory_bytes: int = 0
 
 
 class _Mailbox:
@@ -274,10 +278,7 @@ class ShardWorker:
         payload = self.payload
         spec = ScenarioSpec.from_dict(payload["spec"])
         transport: Optional[TransportConfig] = payload.get("transport")
-        swarm = self.swarm = ShardSwarm(
-            spec,
-            self.shard_index,
-            self.num_shards,
+        swarm_kwargs = dict(
             rounds=payload.get("rounds"),
             time_scale=payload["time_scale"],
             transport=transport,
@@ -286,6 +287,20 @@ class ShardWorker:
             delta_maps=payload.get("delta_maps", True),
             obs=payload.get("obs"),
         )
+        if payload.get("fidelity", "full") == "hybrid":
+            from repro.runtime.slim import HybridShardSwarm
+
+            swarm = self.swarm = HybridShardSwarm(
+                spec,
+                self.shard_index,
+                self.num_shards,
+                core_peers=payload.get("core_peers"),
+                **swarm_kwargs,
+            )
+        else:
+            swarm = self.swarm = ShardSwarm(
+                spec, self.shard_index, self.num_shards, **swarm_kwargs
+            )
         swarm.build()
         self.hello = wire.ShardHello(
             shard_index=self.shard_index,
@@ -318,6 +333,7 @@ class ShardWorker:
         swarm.telemetry_sink = self._ship_telemetry
         result = await swarm.run_async()
         wall_time = max(0.0, asyncio.get_running_loop().time() - swarm.start_at)
+        fid = result.fidelity or {}
         self._send(
             (
                 "result",
@@ -344,6 +360,8 @@ class ShardWorker:
                     lost_shards=sorted(swarm.lost_shards),
                     bytes_on_wire=result.bytes_on_wire,
                     obs=result.obs,
+                    slim_peers=int(fid.get("slim_peers", 0)),
+                    slim_memory_bytes=int(fid.get("slim_memory_bytes", 0)),
                 ),
             )
         )

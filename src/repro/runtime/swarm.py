@@ -118,6 +118,10 @@ class RuntimeResult:
     #: run was started with an :class:`~repro.obs.ObsConfig`.  Plain dict
     #: so the result stays picklable.
     obs: Optional[Dict[str, Any]] = None
+    #: Hybrid-fidelity facts (``mode``, ``core_peers``, ``slim_peers``,
+    #: ``slim_memory_bytes``, ... — see :mod:`repro.runtime.slim`);
+    #: ``None`` for full-fidelity runs.  Plain dict: picklable.
+    fidelity: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ metrics
     def continuity_series(self) -> List[float]:
@@ -571,7 +575,7 @@ class LiveSwarm:
         metrics.set_gauge("credit_pending_total", credit_pending)
         metrics.set_gauge("dilation_stretch", self._stretch)
         metrics.set_gauge("clock_dilation_s", self.clock_dilation_s)
-        metrics.set_gauge("peers_live", len(self.peers))
+        metrics.set_gauge("peers_live", self._peers_live())
         metrics.set_gauge("messages_sent", self.messages_sent)
         metrics.set_gauge("bytes_on_wire", self.bytes_on_wire)
         self.obs.snapshot(round_index)
@@ -586,16 +590,7 @@ class LiveSwarm:
         observation — nothing here touches protocol state, so an
         obs-enabled virtual run with a sink attached stays deterministic.
         """
-        playing = total = 0
-        for peer in list(self.peers.values()) + self.retired_peers:
-            if peer.is_source:
-                continue
-            sample = peer.playback_log.get(round_index)
-            if sample is None:
-                continue
-            total += 1
-            if sample.started and sample.continuous:
-                playing += 1
+        playing, total = self._period_playback_counts(round_index)
         metrics = self.obs.metrics
         counters: Dict[str, float] = {}
         for name, value in metrics.counters.items():
@@ -611,13 +606,16 @@ class LiveSwarm:
             self._telem_miss_causes[cause] = count
         self._telem_flight_seen, flight = self.obs.flight_since(self._telem_flight_seen)
         body: Dict[str, Any] = {
-            "shard": self.obs.shard,
+            # Single-process swarms never bind a shard id; they report as
+            # shard 0 so the HealthEngine (which rejects id-less frames,
+            # see repro.obs.health) still accepts their frames.
+            "shard": 0 if self.obs.shard is None else self.obs.shard,
             "period": round_index,
             "t": self.sim_now(),
             "playing": playing,
             "total": total,
             "continuity": (playing / total) if total else 1.0,
-            "peers_live": len(self.peers),
+            "peers_live": self._peers_live(),
             "gauges": dict(metrics.gauges),
             "counters": counters,
             "miss_causes": miss_causes,
@@ -676,6 +674,34 @@ class LiveSwarm:
         await asyncio.gather(*(peer.stop() for peer in self.peers.values()))
 
     # ================================================================== collect
+    def _period_playback_counts(self, tick: int) -> Tuple[int, int]:
+        """``(playing, total)`` for one period over every hosted peer.
+
+        The single aggregation point telemetry frames, playback samples
+        and the merged tracker all flow through — a hybrid swarm overrides
+        this to fold its slim tier in, so every consumer (health engine,
+        cockpit, campaign stores) sees one population.
+        """
+        playing = total = 0
+        for peer in list(self.peers.values()) + self.retired_peers:
+            if peer.is_source:
+                continue
+            sample = peer.playback_log.get(tick)
+            if sample is None:
+                continue
+            total += 1
+            if sample.started and sample.continuous:
+                playing += 1
+        return playing, total
+
+    def _peers_live(self) -> int:
+        """Currently-live peer count (hybrid swarms add their slim tier)."""
+        return len(self.peers)
+
+    def _fidelity_export(self) -> Optional[Dict[str, Any]]:
+        """Hybrid-tier facts for ``RuntimeResult.fidelity`` (``None`` here)."""
+        return None
+
     def playback_samples(self) -> List[Tuple[int, int, int]]:
         """Per-tick ``(tick, playing, total)`` over every hosted peer.
 
@@ -683,21 +709,9 @@ class LiveSwarm:
         sums these across shards before applying the trailing-empty trim,
         so a shard that finished early cannot truncate the merged series.
         """
-        everyone = list(self.peers.values()) + self.retired_peers
-        samples: List[Tuple[int, int, int]] = []
-        for tick in range(self.rounds):
-            playing = total = 0
-            for peer in everyone:
-                if peer.is_source:
-                    continue
-                sample = peer.playback_log.get(tick)
-                if sample is None:
-                    continue
-                total += 1
-                if sample.started and sample.continuous:
-                    playing += 1
-            samples.append((tick, playing, total))
-        return samples
+        return [
+            (tick, *self._period_playback_counts(tick)) for tick in range(self.rounds)
+        ]
 
     def _collect(self, wall_time: float) -> RuntimeResult:
         everyone = list(self.peers.values()) + self.retired_peers
@@ -735,6 +749,7 @@ class LiveSwarm:
             clock_dilations=self.clock_dilations,
             bytes_on_wire=self.bytes_on_wire,
             obs=self.obs.export(),
+            fidelity=self._fidelity_export(),
         )
 
 

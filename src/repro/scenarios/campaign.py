@@ -66,15 +66,24 @@ def cell_obs_filename(payload: Mapping[str, Any]) -> str:
     """The collision-free obs JSONL name of one grid cell.
 
     Every coordinate that distinguishes cells within a campaign —
-    scenario, system, node count, sweep seed, backend — lands in the
-    name, so no two cells of one grid (or of a sim/runtime re-run into
-    the same directory) can overwrite each other's export.
+    scenario, system, node count, sweep seed, backend, and (for
+    non-default fidelity) the fidelity mode with its core size — lands
+    in the name, so no two cells of one grid (or of a sim/runtime or
+    hybrid/full re-run into the same directory) can overwrite each
+    other's export.  Full-fidelity names stay exactly as before, so
+    existing tooling keyed on them keeps resolving.
     """
     raw = (
         f"{payload['scenario']['name']}_{payload['system']}"
         f"_n{payload['num_nodes']}_s{payload['seed']}"
         f"_{payload.get('backend', 'sim')}"
     )
+    fidelity = payload.get("fidelity") or "full"
+    if fidelity != "full":
+        raw += f"_{fidelity}"
+        core_peers = payload.get("core_peers")
+        if core_peers is not None:
+            raw += f"-c{core_peers}"
     return f"obs_{re.sub(r'[^A-Za-z0-9._-]+', '-', raw)}.jsonl"
 
 
@@ -102,14 +111,26 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
         system=payload["system"],
     )
     obs_cfg = payload.get("obs")
+    fidelity = payload.get("fidelity") or "full"
     start = time.perf_counter()
     if backend == "runtime":
         from repro.runtime.swarm import DEFAULT_TIME_SCALE, LiveSwarm
 
         time_scale = payload.get("time_scale") or DEFAULT_TIME_SCALE
-        result = LiveSwarm(
-            spec, time_scale=time_scale, clock="virtual", obs=obs_cfg
-        ).run()
+        if fidelity == "hybrid":
+            from repro.runtime.slim import HybridSwarm
+
+            result = HybridSwarm(
+                spec,
+                core_peers=payload.get("core_peers"),
+                time_scale=time_scale,
+                clock="virtual",
+                obs=obs_cfg,
+            ).run()
+        else:
+            result = LiveSwarm(
+                spec, time_scale=time_scale, clock="virtual", obs=obs_cfg
+            ).run()
         joined, left = float(result.peers_joined), float(result.peers_left)
     elif backend == "cluster":
         from repro.runtime.cluster import run_cluster
@@ -119,6 +140,8 @@ def run_cell(payload: Mapping[str, Any]) -> Dict[str, Any]:
             shards=payload.get("shards") or 2,
             time_scale=payload.get("time_scale"),
             obs=obs_cfg,
+            fidelity=fidelity,
+            core_peers=payload.get("core_peers"),
         )
         joined, left = float(result.peers_joined), float(result.peers_left)
     else:
@@ -198,6 +221,11 @@ class CampaignSpec:
         obs_dir: directory for per-cell obs JSONL exports, named by
             :func:`cell_obs_filename` so grid cells never collide;
             requires ``obs``.
+        fidelity: ``"full"`` (default) runs every peer live;
+            ``"hybrid"`` runs a live core plus an array-backed slim tier
+            (:mod:`repro.runtime.slim`) on the runtime/cluster backends.
+        core_peers: live-core size for hybrid cells; ``None`` picks the
+            default (requires ``fidelity="hybrid"``).
     """
 
     scenarios: Tuple[ScenarioSpec, ...]
@@ -210,6 +238,8 @@ class CampaignSpec:
     shards: int = 2
     obs: Optional[ObsConfig] = None
     obs_dir: Optional[str] = None
+    fidelity: str = "full"
+    core_peers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -231,6 +261,20 @@ class CampaignSpec:
             )
         if self.obs_dir is not None and self.obs is None:
             raise ValueError("obs_dir needs an obs config")
+        if self.fidelity not in ("full", "hybrid"):
+            raise ValueError(
+                f"fidelity must be 'full' or 'hybrid', got {self.fidelity!r}"
+            )
+        if self.fidelity == "hybrid" and self.backend == "sim":
+            raise ValueError(
+                "the sim backend has no hybrid tier; hybrid campaigns need "
+                "--backend runtime or cluster"
+            )
+        if self.core_peers is not None:
+            if self.fidelity != "hybrid":
+                raise ValueError("core_peers only applies to fidelity='hybrid'")
+            if self.core_peers < 2:
+                raise ValueError("core_peers must be >= 2")
         names = [scenario.name for scenario in self.scenarios]
         duplicates = sorted({name for name in names if names.count(name) > 1})
         if duplicates:
@@ -275,6 +319,8 @@ class CampaignSpec:
                                 "shards": self.shards,
                                 "obs": self.obs,
                                 "obs_dir": self.obs_dir,
+                                "fidelity": self.fidelity,
+                                "core_peers": self.core_peers,
                             }
                         )
         return payloads
@@ -358,6 +404,8 @@ def run_campaign(
     shards: int = 2,
     obs: Optional[ObsConfig] = None,
     obs_dir: Optional[Union[str, Path]] = None,
+    fidelity: str = "full",
+    core_peers: Optional[int] = None,
 ) -> ResultsStore:
     """Convenience wrapper: resolve scenarios, build the grid, run it.
 
@@ -379,6 +427,8 @@ def run_campaign(
         shards=shards,
         obs=obs,
         obs_dir=None if obs_dir is None else str(obs_dir),
+        fidelity=fidelity,
+        core_peers=core_peers,
     )
     store = ResultsStore(path=results_path)
     return CampaignRunner(campaign, workers=workers).run(store)

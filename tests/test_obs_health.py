@@ -197,6 +197,67 @@ class TestPeriodClosing:
         assert continuity == 1.0
         assert burn == 0.0
 
+    def test_shard_dead_before_first_frame_still_unblocks_the_fleet(self):
+        # A shard killed before it ever reports must count toward the
+        # expected fleet via dead_shards, or no period would ever close.
+        engine = HealthEngine(expected_shards=2)
+        engine.observe_frame(frame(shard=0, period=0, playing=6, total=10))
+        engine.observe_frame(frame(shard=0, period=1, playing=8, total=10))
+        assert engine._closed_through == -1, "shard 1 was never heard from"
+        engine.mark_shard_dead(1, reason="SIGKILL before first frame")
+        assert engine._closed_through == 1, "survivor's periods close now"
+        assert [c for _, c, _ in engine.continuity] == [
+            pytest.approx(0.6),
+            pytest.approx(0.8),
+        ]
+        dead = [a for a in engine.alerts if a.kind == "shard_dead"]
+        assert len(dead) == 1
+        assert dead[0].period is None, "no last period — it never reported"
+        # Frames from the survivor keep closing periods afterwards.
+        engine.observe_frame(frame(shard=0, period=2, playing=10, total=10))
+        assert engine._closed_through == 2
+
+
+class TestFrameRejection:
+    """Frames without a valid shard id are dropped, not coerced to shard 0."""
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            frame(shard=None),
+            frame(shard="1"),
+            frame(shard=1.0),
+            frame(shard=True),
+            frame(shard=-1),
+            {"period": 0, "playing": 5, "total": 10},  # no shard key at all
+        ],
+    )
+    def test_invalid_shard_is_rejected_without_polluting_state(self, body):
+        engine = HealthEngine()
+        engine.observe_frame(body)
+        assert engine.rejected_frames == 1
+        assert engine.shards == {}, "no shard record was fabricated"
+        assert engine._acc == {}, "no playback accumulated"
+        assert engine._closed_through == -1
+
+    def test_rejection_counts_accumulate_and_valid_frames_still_land(self):
+        engine = HealthEngine()
+        engine.observe_frame(frame(shard=None, playing=0, total=10))
+        engine.observe_frame(frame(shard=0, period=0, playing=9, total=10))
+        engine.observe_frame(frame(shard="oops", period=0, playing=0, total=10))
+        assert engine.rejected_frames == 2
+        assert engine.shards[0].frames == 1
+        # The rejected frames' zeros never reached the rollup.
+        assert engine.continuity[-1][1] == pytest.approx(0.9)
+
+    def test_snapshot_surfaces_the_rejected_count(self):
+        engine = HealthEngine()
+        engine.observe_frame(frame(shard=None))
+        engine.observe_frame(frame(shard=0, period=0))
+        snap = engine.snapshot()
+        json.dumps(snap)
+        assert snap["rejected_frames"] == 1
+
 
 class TestWatchdogs:
     def test_dilation_stretch_warns_once_and_rearms(self):
