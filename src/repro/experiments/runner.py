@@ -72,7 +72,10 @@ def _obs_config(args: argparse.Namespace):
     from repro.obs import ObsConfig
 
     return ObsConfig(
-        trace_sample=args.trace_sample, telemetry_every=args.telemetry_every
+        trace_sample=args.trace_sample,
+        telemetry_every=args.telemetry_every,
+        flows=not args.no_flows,
+        topo=not args.no_topo,
     )
 
 
@@ -595,7 +598,13 @@ def cmd_cluster(args: argparse.Namespace) -> str:
 
 
 def cmd_obs(args: argparse.Namespace) -> str:
-    """Render an obs JSONL report, or the live telemetry cockpit."""
+    """Render an obs JSONL report, the live cockpit, or a run diff."""
+    if args.mode == "diff":
+        return _cmd_obs_diff(args)
+    if args.mode is not None:
+        raise SystemExit(
+            f"unknown obs mode {args.mode!r} (supported: diff)"
+        )
     if args.live:
         from repro.obs import run_live
 
@@ -624,6 +633,48 @@ def cmd_obs(args: argparse.Namespace) -> str:
     except (OSError, ValueError) as exc:
         raise SystemExit(f"obs error: could not read {args.obs_in}: {exc}") from exc
     return render_report(obs)
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> str:
+    """``obs diff``: compare a baseline and a candidate obs JSONL export.
+
+    Warn-only by default — regressions are reported (and written to the
+    ``--verdict-out`` JSON for CI) but the exit code stays 0 unless
+    ``--strict`` asks for a hard gate.
+    """
+    import json as _json
+
+    from repro.obs import diff_obs, load_obs_jsonl, render_diff
+
+    if not args.baseline or not args.obs_in:
+        raise SystemExit(
+            "obs diff needs --baseline PATH and --in PATH "
+            "(two JSONL exports written by --metrics-out)"
+        )
+    try:
+        baseline = load_obs_jsonl(args.baseline)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"obs error: could not read {args.baseline}: {exc}") from exc
+    try:
+        candidate = load_obs_jsonl(args.obs_in)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"obs error: could not read {args.obs_in}: {exc}") from exc
+    verdict = diff_obs(
+        baseline,
+        candidate,
+        p95_tolerance=args.p95_tolerance,
+        counter_tolerance=args.counter_tolerance,
+    )
+    verdict["baseline"] = str(args.baseline)
+    verdict["candidate"] = str(args.obs_in)
+    if args.verdict_out:
+        with open(args.verdict_out, "w", encoding="utf-8") as fh:
+            _json.dump(verdict, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    report = render_diff(verdict)
+    if args.strict and not verdict["ok"]:
+        raise SystemExit(report)
+    return report
 
 
 def _parity_matrix(
@@ -712,6 +763,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[*COMMANDS.keys(), "all"],
         help="which experiment to run ('all' runs every figure/table experiment; "
         "campaigns run only when asked for explicitly)",
+    )
+    parser.add_argument(
+        "mode", nargs="?", default=None,
+        help="sub-mode of a command; today only 'obs diff' takes one "
+        "(compare two obs JSONL exports)",
     )
     parser.add_argument("--scale", choices=("small", "paper"), default="small",
                         help="node-count scale (default: small)")
@@ -831,6 +887,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="with obs --live: read the stream once, render once and exit "
         "(used by tests/CI instead of following the file)")
+    obs_group.add_argument(
+        "--no-flows", action="store_true",
+        help="disable the per-link/per-shard-pair flow matrix in an "
+        "obs-enabled run")
+    obs_group.add_argument(
+        "--no-topo", action="store_true",
+        help="disable the per-period overlay topology snapshots in an "
+        "obs-enabled run")
+    obs_group.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="with obs diff: the baseline obs JSONL export (--in is the "
+        "candidate)")
+    obs_group.add_argument(
+        "--verdict-out", default=None, metavar="PATH",
+        help="with obs diff: write the machine-readable verdict JSON to "
+        "PATH (for CI artifacts/gates)")
+    obs_group.add_argument(
+        "--p95-tolerance", type=float, default=0.10, metavar="F",
+        help="with obs diff: relative worsening of the trace p50/p95 "
+        "request→deliver latency that counts as a regression "
+        "(default: 0.10)")
+    obs_group.add_argument(
+        "--counter-tolerance", type=float, default=0.05, metavar="F",
+        help="with obs diff: relative counter movement reported as a "
+        "change/warning (default: 0.05)")
+    obs_group.add_argument(
+        "--strict", action="store_true",
+        help="with obs diff: exit non-zero when the verdict has "
+        "regressions (default is warn-only)")
     cluster_group = parser.add_argument_group("cluster options")
     cluster_group.add_argument(
         "--shards", type=int, default=4,
@@ -843,6 +928,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``continustreaming-experiments`` console script."""
     args = build_parser().parse_args(argv)
+    if args.mode is not None and args.experiment != "obs":
+        raise SystemExit(
+            f"the {args.experiment!r} command takes no sub-mode "
+            f"(got {args.mode!r})"
+        )
     if args.experiment == "all":
         # Campaigns and live swarms are opt-in, not part of "all".
         names = [name for name in COMMANDS if name not in _EXCLUDED_FROM_ALL]

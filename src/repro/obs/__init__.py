@@ -18,6 +18,8 @@ aborts on budget burn via :class:`SloViolation`), and the stream feeds
 ``obs --live`` :class:`Cockpit`.
 """
 
+from repro.obs.diff import diff_obs, render_diff
+from repro.obs.flows import FlowMatrix, merge_flows
 from repro.obs.health import (
     Alert,
     HealthEngine,
@@ -39,6 +41,7 @@ from repro.obs.metrics import (
     summarize_traces,
 )
 from repro.obs.recorder import NULL_OBS, NullObs, ObsConfig, ObsRecorder
+from repro.obs.topo import TopologyObserver, merge_topo
 from repro.obs.report import (
     format_postmortems,
     load_obs_jsonl,
@@ -49,6 +52,7 @@ from repro.obs.report import (
 __all__ = [
     "Alert",
     "Cockpit",
+    "FlowMatrix",
     "HealthEngine",
     "Histogram",
     "MetricsRegistry",
@@ -59,12 +63,17 @@ __all__ = [
     "SloSpec",
     "SloViolation",
     "TelemetryWriter",
+    "TopologyObserver",
+    "diff_obs",
     "format_postmortems",
     "load_obs_jsonl",
     "load_telemetry_jsonl",
+    "merge_flows",
     "merge_metrics",
     "merge_obs",
+    "merge_topo",
     "parse_slo",
+    "render_diff",
     "render_report",
     "run_live",
     "summarize_traces",

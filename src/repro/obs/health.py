@@ -157,6 +157,7 @@ class _ShardHealth:
         "credit_alerted",
         "stretch_alerted",
         "stall_alerted",
+        "partition_alerted",
         "frames",
         "peers_live",
         "miss_causes",
@@ -172,6 +173,7 @@ class _ShardHealth:
         self.credit_alerted = False
         self.stretch_alerted = False
         self.stall_alerted = False
+        self.partition_alerted = False
         self.frames = 0
         self.peers_live = 0
         self.miss_causes: Dict[str, int] = {}
@@ -239,6 +241,11 @@ class HealthEngine:
         #: frames dropped for lacking a valid integer shard id (torn or
         #: foreign telemetry must not pollute shard 0's series).
         self.rejected_frames = 0
+        #: cumulative cross-shard flow matrix folded from per-frame
+        #: deltas: ``(src_shard, dst_shard) -> [frames, bytes]``.
+        self.flow_pairs: Dict[Tuple[int, int], List[int]] = {}
+        #: latest per-shard topology summary (coverage, components).
+        self.topo: Dict[int, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------ intake
     def observe_frame(self, body: Dict[str, Any]) -> None:
@@ -274,6 +281,30 @@ class HealthEngine:
 
         for cause, count in (body.get("miss_causes") or {}).items():
             st.miss_causes[cause] = st.miss_causes.get(cause, 0) + int(count)
+
+        for src, dst, frames, nbytes in body.get("flows") or ():
+            acc = self.flow_pairs.setdefault((int(src), int(dst)), [0, 0])
+            acc[0] += int(frames)
+            acc[1] += int(nbytes)
+        topo = body.get("topo")
+        if topo:
+            self.topo[shard] = dict(topo)
+            components = topo.get("components")
+            if components and int(components) > 1 and not st.partition_alerted:
+                st.partition_alerted = True
+                self._emit(
+                    Alert(
+                        kind="overlay_partition",
+                        severity="critical",
+                        message=(
+                            f"shard {shard} sees {components} overlay "
+                            "components (partition)"
+                        ),
+                        shard=shard,
+                        period=period,
+                        t=t,
+                    )
+                )
 
         gauges = body.get("gauges") or {}
         self._watch_stretch(st, shard, period, float(gauges.get("dilation_stretch", 1.0)))
@@ -464,5 +495,10 @@ class HealthEngine:
             "closed_through": self._closed_through,
             "rejected_frames": self.rejected_frames,
             "dead_shards": sorted(self.dead_shards),
+            "flows": [
+                [src, dst, acc[0], acc[1]]
+                for (src, dst), acc in sorted(self.flow_pairs.items())
+            ],
+            "topo": {shard: dict(t) for shard, t in sorted(self.topo.items())},
             "shards": {shard: st.to_dict() for shard, st in sorted(self.shards.items())},
         }

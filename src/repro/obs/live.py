@@ -20,6 +20,7 @@ bodies the :class:`~repro.obs.health.HealthEngine` sees.
 from __future__ import annotations
 
 import json
+import re
 import sys
 import time
 from collections import deque
@@ -34,6 +35,23 @@ __all__ = ["TelemetryWriter", "Cockpit", "run_live", "load_telemetry_jsonl"]
 
 def _prom_escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name to the Prometheus charset ``[a-zA-Z0-9_:]``.
+
+    Scenario-derived names (miss causes, custom counters) can carry
+    quotes, dashes, dots, even newlines; every invalid character becomes
+    ``_`` and a leading digit gets an underscore prefix so the
+    exposition file always parses.
+    """
+    name = _PROM_NAME_BAD.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
 
 
 class TelemetryWriter:
@@ -57,7 +75,7 @@ class TelemetryWriter:
         if exposition_path is None:
             exposition_path = self.path.with_suffix(self.path.suffix + ".prom")
         self.exposition_path = Path(exposition_path)
-        self.namespace = namespace
+        self.namespace = _prom_name(namespace)
         self._fh: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
         self._gauges: Dict[int, Dict[str, float]] = {}
         self._counters: Dict[int, Dict[str, float]] = {}
@@ -70,17 +88,29 @@ class TelemetryWriter:
         self._write_line({"type": "telemetry", **body})
         shard = int(body.get("shard") or 0)
         gauges = self._gauges.setdefault(shard, {})
+        # Names are sanitized at fold time, so two raw names colliding
+        # after sanitization merge here instead of producing duplicate
+        # sample lines in the exposition.
         for name, value in (body.get("gauges") or {}).items():
-            gauges[name] = float(value)
+            gauges[_prom_name(name)] = float(value)
         gauges["continuity"] = float(body.get("continuity", 1.0))
         gauges["peers_live"] = float(body.get("peers_live", 0))
         gauges["telemetry_period"] = float(body.get("period", 0))
+        topo = body.get("topo") or {}
+        if "coverage" in topo:
+            gauges["topo_gossip_coverage"] = float(topo["coverage"])
+        if "components" in topo:
+            gauges["topo_components"] = float(topo["components"])
         counters = self._counters.setdefault(shard, {})
         for name, delta in (body.get("counters") or {}).items():
-            counters[name] = counters.get(name, 0.0) + float(delta)
+            key = _prom_name(name)
+            counters[key] = counters.get(key, 0.0) + float(delta)
         for cause, count in (body.get("miss_causes") or {}).items():
-            key = f"miss_cause_{cause}"
+            key = _prom_name(f"miss_cause_{cause}")
             counters[key] = counters.get(key, 0.0) + float(count)
+        for src, dst, _frames, nbytes in body.get("flows") or ():
+            key = _prom_name(f"flow_bytes_s{src}_s{dst}")
+            counters[key] = counters.get(key, 0.0) + float(nbytes)
         self.frames += 1
         self._write_exposition()
 
@@ -162,6 +192,9 @@ class Cockpit:
         self.alerts: Deque[Dict[str, Any]] = deque(maxlen=alert_tail)
         self.alert_count = 0
         self.miss_causes: Dict[str, int] = {}
+        #: Cumulative shard-pair flow matrix folded from frame deltas:
+        #: ``(src_shard, dst_shard) -> [frames, bytes]``.
+        self.flow_pairs: Dict[Any, List[int]] = {}
         self.frames = 0
         self.skipped = 0
 
@@ -174,6 +207,10 @@ class Cockpit:
         view.feed(body)
         for cause, count in (body.get("miss_causes") or {}).items():
             self.miss_causes[cause] = self.miss_causes.get(cause, 0) + int(count)
+        for src, dst, frames, nbytes in body.get("flows") or ():
+            acc = self.flow_pairs.setdefault((int(src), int(dst)), [0, 0])
+            acc[0] += int(frames)
+            acc[1] += int(nbytes)
         self.frames += 1
 
     def feed_alert(self, alert: Union[Alert, Dict[str, Any]]) -> None:
@@ -203,12 +240,34 @@ class Cockpit:
             last = view.last
             spark = _sparkline(list(view.continuity), width=width)
             gauges = last.get("gauges") or {}
+            topo = last.get("topo") or {}
+            topo_bits = ""
+            if topo:
+                topo_bits = (
+                    f"  cov {topo.get('coverage', 0.0):.0%}"
+                    f"  comp {topo.get('components', 0)}"
+                )
             lines.append(
                 f"  shard {shard}  cont {spark}  now {view.continuity[-1]:.3f}  "
                 f"peers {last.get('peers_live', 0)}  "
                 f"stretch {gauges.get('dilation_stretch', 1.0):.1f}x  "
-                f"msgs {int(gauges.get('messages_sent', 0))}"
+                f"msgs {int(gauges.get('messages_sent', 0))}{topo_bits}"
             )
+            socket = last.get("socket") or {}
+            for other in sorted(socket):
+                s = socket[other]
+                lost = "  LOST" if s.get("lost") else ""
+                lines.append(
+                    f"    socket →{other}  out {s.get('frames_out', 0)}f/"
+                    f"{s.get('bytes_out', 0)}B  in {s.get('frames_in', 0)}f/"
+                    f"{s.get('bytes_in', 0)}B  resets {s.get('disconnects', 0)}{lost}"
+                )
+        if self.flow_pairs:
+            cells = "  ".join(
+                f"{src}→{dst} {acc[0]}f/{acc[1]}B"
+                for (src, dst), acc in sorted(self.flow_pairs.items())
+            )
+            lines.append(f"  flows: {cells}")
         if self.miss_causes:
             causes = ", ".join(
                 f"{cause}={count}"

@@ -24,6 +24,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.flows import merge_flows
+from repro.obs.topo import merge_topo
+
 __all__ = [
     "Histogram",
     "MetricsRegistry",
@@ -34,9 +37,30 @@ __all__ = [
 
 
 class Histogram:
-    """A streaming summary: count/sum/min/max, plus a per-period window."""
+    """A streaming summary: count/sum/min/max/p50/p95, plus a period window.
 
-    __slots__ = ("count", "total", "min", "max", "_win_count", "_win_total", "_win_max")
+    Percentiles come from a deterministic decimating reservoir: every
+    ``_stride``-th observation is retained; when the reservoir fills to
+    ``RESERVOIR`` samples, every other retained sample is dropped and the
+    stride doubles.  No RNG is involved, so same-seed runs produce
+    identical percentile estimates, and memory stays O(RESERVOIR) no
+    matter how many observations arrive.
+    """
+
+    RESERVOIR = 512
+
+    __slots__ = (
+        "count",
+        "total",
+        "min",
+        "max",
+        "_win_count",
+        "_win_total",
+        "_win_max",
+        "_samples",
+        "_stride",
+        "_tick",
+    )
 
     def __init__(self) -> None:
         self.count = 0
@@ -46,6 +70,9 @@ class Histogram:
         self._win_count = 0
         self._win_total = 0.0
         self._win_max = float("-inf")
+        self._samples: List[float] = []
+        self._stride = 1
+        self._tick = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -58,6 +85,19 @@ class Histogram:
         self._win_total += value
         if value > self._win_max:
             self._win_max = value
+        if self._tick % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) >= self.RESERVOIR:
+                del self._samples[::2]
+                self._stride *= 2
+        self._tick += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the retained reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
     def drain_window(self) -> Optional[Tuple[float, float]]:
         """``(mean, max)`` of the current period's observations, then reset."""
@@ -72,7 +112,14 @@ class Histogram:
     def to_dict(self) -> Dict[str, float]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
-        return {"count": self.count, "sum": self.total, "min": self.min, "max": self.max}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+        }
 
 
 class MetricsRegistry:
@@ -155,6 +202,14 @@ def merge_metrics(parts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 agg["sum"] += h["sum"]
                 agg["min"] = min(agg["min"], h["min"])
                 agg["max"] = max(agg["max"], h["max"])
+                # Percentiles merge as count-weighted averages — an
+                # approximation (exact merging needs the raw samples),
+                # good enough for the report/diff use they feed.
+                for q in ("p50", "p95"):
+                    if q in h:
+                        agg[f"_{q}_weighted"] = (
+                            agg.get(f"_{q}_weighted", 0.0) + h[q] * h["count"]
+                        )
         for name, points in part.get("series", {}).items():
             curve = series.setdefault(name, {})
             for period, value in points:
@@ -163,6 +218,10 @@ def merge_metrics(parts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         if not agg["count"]:
             agg["min"] = 0.0
             agg["max"] = 0.0
+        for q in ("p50", "p95"):
+            weighted = agg.pop(f"_{q}_weighted", None)
+            if weighted is not None and agg["count"]:
+                agg[q] = weighted / agg["count"]
     return {
         "counters": counters,
         "gauges": gauges,
@@ -221,9 +280,11 @@ def summarize_traces(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     }
     if latencies:
         latencies.sort()
+        p50 = latencies[min(len(latencies) - 1, int(0.50 * len(latencies)))]
         p95 = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))]
         summary["request_to_deliver_s"] = {
             "mean": sum(latencies) / len(latencies),
+            "p50": p50,
             "p95": p95,
             "max": latencies[-1],
         }
@@ -262,7 +323,7 @@ def merge_obs(parts: List[Optional[Dict[str, Any]]], span_limit: int = 200_000) 
     if len(spans) > span_limit:
         dropped += len(spans) - span_limit
         spans = spans[:span_limit]
-    return {
+    merged: Dict[str, Any] = {
         "shards": sorted({p.get("shard") for p in parts if p.get("shard") is not None}),
         "metrics": merge_metrics(p.get("metrics", {}) for p in parts),
         "spans": spans,
@@ -271,3 +332,16 @@ def merge_obs(parts: List[Optional[Dict[str, Any]]], span_limit: int = 200_000) 
         "spans_dropped": dropped,
         "traces": summarize_traces(spans),
     }
+    flows = merge_flows(p.get("flows") for p in parts)
+    if flows is not None:
+        merged["flows"] = flows
+    topo = merge_topo(p.get("topo") for p in parts)
+    if topo is not None:
+        merged["topo"] = topo
+    socket_links = [row for p in parts for row in p.get("socket_links", ())]
+    if socket_links:
+        merged["socket_links"] = sorted(
+            socket_links,
+            key=lambda r: (r.get("src_shard", 0), r.get("dst_shard", 0)),
+        )
+    return merged

@@ -27,7 +27,9 @@ import dataclasses
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
+from repro.obs.flows import FlowMatrix
 from repro.obs.metrics import MetricsRegistry, summarize_traces
+from repro.obs.topo import TopologyObserver
 
 __all__ = ["ObsConfig", "ObsRecorder", "NullObs", "NULL_OBS"]
 
@@ -50,6 +52,16 @@ class ObsConfig:
             control pipe, ``--telemetry-out``, a ``HealthEngine``).  Off
             costs nothing; on without a sink costs nothing either.
         telemetry_every: emit one telemetry frame every N periods.
+        flows: account per-link / per-shard-pair traffic in a bounded
+            :class:`~repro.obs.flows.FlowMatrix` (requires ``metrics``).
+        flow_top_links: how many heaviest directed peer links to keep
+            exactly; the rest fold into an aggregate tail.
+        topo: take per-period overlay snapshots (partner graph, gossip
+            coverage, partition count) via
+            :class:`~repro.obs.topo.TopologyObserver` (requires ``metrics``).
+        topo_coverage_periods: a partner edge counts as *covered* when
+            the partner's newest buffer map arrived within this many
+            periods.
     """
 
     metrics: bool = True
@@ -60,6 +72,10 @@ class ObsConfig:
     span_limit: int = 50_000
     telemetry: bool = True
     telemetry_every: int = 1
+    flows: bool = True
+    flow_top_links: int = 32
+    topo: bool = True
+    topo_coverage_periods: int = 3
 
     def __post_init__(self) -> None:
         if self.trace_sample < 1:
@@ -67,6 +83,14 @@ class ObsConfig:
         if self.telemetry_every < 1:
             raise ValueError(
                 f"telemetry_every must be >= 1, got {self.telemetry_every!r}"
+            )
+        if self.flow_top_links < 1:
+            raise ValueError(
+                f"flow_top_links must be >= 1, got {self.flow_top_links!r}"
+            )
+        if self.topo_coverage_periods < 1:
+            raise ValueError(
+                f"topo_coverage_periods must be >= 1, got {self.topo_coverage_periods!r}"
             )
 
 
@@ -76,6 +100,10 @@ class NullObs:
     enabled = False
     tracing = False
     shard: Optional[int] = None
+    #: Disabled flow matrix / topology observer: call sites cache these
+    #: and guard on ``is not None``, so the hot path stays one load + test.
+    flows: Optional[Any] = None
+    topo: Optional[Any] = None
 
     def bind_shard(self, shard: int) -> None:
         pass
@@ -124,6 +152,16 @@ class ObsRecorder:
         self.tracing = config.tracing
         self.shard = shard
         self.metrics = MetricsRegistry(window=config.series_window)
+        self.flows: Optional[FlowMatrix] = (
+            FlowMatrix(top_links=config.flow_top_links)
+            if config.metrics and config.flows
+            else None
+        )
+        self.topo: Optional[TopologyObserver] = (
+            TopologyObserver(coverage_periods=config.topo_coverage_periods)
+            if config.metrics and config.topo
+            else None
+        )
         self.spans: List[Dict[str, Any]] = []
         self.spans_dropped = 0
         self._flight: Deque[Dict[str, Any]] = deque(maxlen=config.flight_window)
@@ -240,7 +278,7 @@ class ObsRecorder:
     # ----------------------------------------------------------------- export
     def export(self) -> Dict[str, Any]:
         """A plain picklable dict for ``RuntimeResult.obs``/``ShardResult.obs``."""
-        return {
+        out: Dict[str, Any] = {
             "shard": self.shard,
             "metrics": self.metrics.to_dict(),
             "spans": list(self.spans),
@@ -249,3 +287,8 @@ class ObsRecorder:
             "postmortems": list(self.postmortems),
             "traces": summarize_traces(self.spans),
         }
+        if self.flows is not None and not self.flows.empty:
+            out["flows"] = self.flows.to_dict()
+        if self.topo is not None and self.topo.last is not None:
+            out["topo"] = self.topo.to_dict()
+        return out

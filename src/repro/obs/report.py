@@ -2,9 +2,10 @@
 
 ``--metrics-out`` writes one run's obs export as a line-oriented JSONL
 stream (one typed record per line — ``meta``, ``metric``, ``span``,
-``flight``, ``postmortem``, ``summary``) that tails cleanly and loads
-back with :func:`load_obs_jsonl`; ``continustreaming-experiments obs
---in run.jsonl`` renders it with :func:`render_report`.
+``flight``, ``flows``, ``topo``, ``socket_link``, ``postmortem``,
+``summary``) that tails cleanly and loads back with
+:func:`load_obs_jsonl`; ``continustreaming-experiments obs --in
+run.jsonl`` renders it with :func:`render_report`.
 """
 
 from __future__ import annotations
@@ -50,6 +51,12 @@ def write_obs_jsonl(path: Union[str, Path], obs: Dict[str, Any]) -> Path:
             fh.write(json.dumps({"type": "span", **span}, sort_keys=True) + "\n")
         for event in obs.get("flight", ()):
             fh.write(json.dumps({"type": "flight", **event}, sort_keys=True) + "\n")
+        if obs.get("flows"):
+            fh.write(json.dumps({"type": "flows", **obs["flows"]}, sort_keys=True) + "\n")
+        if obs.get("topo"):
+            fh.write(json.dumps({"type": "topo", **obs["topo"]}, sort_keys=True) + "\n")
+        for row in obs.get("socket_links", ()):
+            fh.write(json.dumps({"type": "socket_link", **row}, sort_keys=True) + "\n")
         for dump in obs.get("postmortems", ()):
             fh.write(json.dumps({"type": "postmortem", **dump}, sort_keys=True) + "\n")
         summary = {
@@ -112,6 +119,12 @@ def load_obs_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
                 obs["spans"].append(record)
             elif kind == "flight":
                 obs["flight"].append(record)
+            elif kind == "flows":
+                obs["flows"] = record
+            elif kind == "topo":
+                obs["topo"] = record
+            elif kind == "socket_link":
+                obs.setdefault("socket_links", []).append(record)
             elif kind == "postmortem":
                 obs["postmortems"].append(record)
             elif kind == "summary":
@@ -172,9 +185,37 @@ def render_report(obs: Dict[str, Any]) -> str:
         for name in sorted(hists):
             h = hists[name]
             mean = h.get("sum", 0.0) / h["count"] if h.get("count") else 0.0
+            quantiles = ""
+            if "p50" in h:
+                quantiles = f" p50={h['p50']:.4g} p95={h.get('p95', 0.0):.4g}"
             lines.append(
-                f"  {name:<{width}}  n={h.get('count', 0)} mean={mean:.4g} "
+                f"  {name:<{width}}  n={h.get('count', 0)} mean={mean:.4g}"
+                f"{quantiles} "
                 f"min={h.get('min', 0.0):.4g} max={h.get('max', 0.0):.4g}"
+            )
+    flows = obs.get("flows")
+    if flows:
+        lines.append(_render_flows(flows))
+    topo = obs.get("topo")
+    if topo:
+        lines.append(_render_topo(topo))
+    socket_links = obs.get("socket_links")
+    if socket_links:
+        lines.append("socket links (per shard pair)")
+        for row in socket_links:
+            lines.append(
+                "  {src}→{dst}  out {fo}f/{bo}B  in {fi}f/{bi}B  "
+                "sheds={sheds} resets={resets}{lost}".format(
+                    src=row.get("src_shard"),
+                    dst=row.get("dst_shard"),
+                    fo=row.get("frames_out", 0),
+                    bo=row.get("bytes_out", 0),
+                    fi=row.get("frames_in", 0),
+                    bi=row.get("bytes_in", 0),
+                    sheds=row.get("sheds", 0),
+                    resets=row.get("disconnects", 0),
+                    lost="  LOST" if row.get("lost") else "",
+                )
             )
     traces = obs.get("traces") or {}
     if traces.get("sampled"):
@@ -187,8 +228,9 @@ def render_report(obs: Dict[str, Any]) -> str:
             lines.append(f"  miss causes: {causes}")
         rtd = traces.get("request_to_deliver_s")
         if rtd:
+            p50 = f"p50={rtd['p50']:.3f}s " if "p50" in rtd else ""
             lines.append(
-                f"  request→deliver: mean={rtd['mean']:.3f}s "
+                f"  request→deliver: mean={rtd['mean']:.3f}s {p50}"
                 f"p95={rtd['p95']:.3f}s max={rtd['max']:.3f}s"
             )
     dropped = obs.get("spans_dropped", 0)
@@ -202,6 +244,67 @@ def render_report(obs: Dict[str, Any]) -> str:
         lines.append(pm)
     if not lines:
         lines.append("(empty obs export)")
+    return "\n".join(lines)
+
+
+def _render_flows(flows: Dict[str, Any], top: int = 8) -> str:
+    """The flow-matrix section: shard pairs, top talkers, the tail."""
+    lines = ["flow matrix"]
+    pairs = flows.get("pairs") or []
+    if pairs:
+        total = sum(row[3] for row in pairs)
+        lines.append(f"  shard pairs ({len(pairs)}, {total} wire bytes total)")
+        for src, dst, frames, nbytes in pairs:
+            lines.append(f"    shard {src}→{dst}  {frames}f  {nbytes}B")
+    links = flows.get("links") or []
+    if links:
+        lines.append(f"  top talkers (of {len(links)} tracked links)")
+        for src, dst, frames, nbytes, data_frames, data_bytes in links[:top]:
+            lines.append(
+                f"    {src}→{dst}  {frames}f/{nbytes}B"
+                f"  (data {data_frames}f/{data_bytes}B)"
+            )
+    tail = flows.get("tail") or {}
+    if tail.get("links"):
+        lines.append(
+            "  tail: {links} more links, {frames}f/{bytes}B".format(**tail)
+        )
+    return "\n".join(lines)
+
+
+def _render_topo(topo: Dict[str, Any]) -> str:
+    """The overlay-topology section of the report."""
+    lines = ["overlay topology (last snapshot, period {})".format(topo.get("period"))]
+    lines.append(
+        "  gossip coverage: {:.1%} ({} of {} partner edges fresh within "
+        "{} periods)".format(
+            topo.get("coverage", 0.0),
+            topo.get("covered_pairs", 0),
+            topo.get("partner_pairs", 0),
+            topo.get("coverage_periods", 0),
+        )
+    )
+    components = topo.get("components", 0)
+    partition = "  ⚠ OVERLAY PARTITIONED" if components and components > 1 else ""
+    lines.append(
+        f"  components: {components} over {topo.get('component_nodes', 0)} "
+        f"live nodes{partition}"
+    )
+    lines.append(
+        "  partner graph: {} nodes, {} edges, out-degree mean={:.2f} max={}".format(
+            topo.get("nodes", 0),
+            topo.get("edges", 0),
+            topo.get("out_degree_mean", 0.0),
+            topo.get("out_degree_max", 0),
+        )
+    )
+    lines.append(
+        "  ring fingers: {:.1%} alive ({} of {})".format(
+            topo.get("finger_health", 0.0),
+            topo.get("finger_alive", 0),
+            topo.get("finger_total", 0),
+        )
+    )
     return "\n".join(lines)
 
 

@@ -152,6 +152,11 @@ class LoopbackLink:
             host.messages_dropped += count
             return
         host.bytes_on_wire += len(frame)
+        flows = host._flows
+        if flows is not None:
+            # Charged beside bytes_on_wire so the shard-pair matrix
+            # reconciles with the physical byte counter by construction.
+            flows.record_physical(host.shard_of(src), host.shard_of(dst), len(frame), count)
         if not peer.inbox.put(src, frame, control=not data, weight=count):
             # The bounded lane shed the frame.  Flow-control state must
             # survive the shed either way: a data frame's spent credit

@@ -217,6 +217,51 @@ class ShardSwarm(LiveSwarm):
         self._maybe_dilate(own_lateness)
 
     # ------------------------------------------------------------------- summary
+    def socket_links(self) -> List[Dict[str, int]]:
+        """Per shard-pair socket-link stats rows (``src_shard`` is us).
+
+        Exposes every :class:`~repro.runtime.cluster.links.
+        SocketLinkStats` field per remote shard instead of only the
+        summed :meth:`socket_summary` — link resets show up here as the
+        ``disconnects``/``reconnects`` pair.  Rows ride the obs export
+        (``obs["socket_links"]``) so they survive the worker process.
+        """
+        rows: List[Dict[str, int]] = []
+        for other in sorted(self.links):
+            link = self.links[other]
+            row: Dict[str, int] = {
+                "src_shard": self.shard_index,
+                "dst_shard": other,
+            }
+            row.update({name: int(value) for name, value in vars(link.stats).items()})
+            row["lost"] = int(other in self.lost_shards)
+            rows.append(row)
+        return rows
+
+    def _telemetry_extras(self) -> Dict[str, object]:
+        """Ship per-pair socket counters in each telemetry frame body."""
+        if not self.links:
+            return {}
+        socket: Dict[str, Dict[str, int]] = {}
+        for other in sorted(self.links):
+            stats = self.links[other].stats
+            socket[str(other)] = {
+                "frames_out": stats.frames_out,
+                "frames_in": stats.frames_in,
+                "bytes_out": stats.bytes_out,
+                "bytes_in": stats.bytes_in,
+                "disconnects": stats.disconnects,
+                "reconnects": stats.reconnects,
+                "lost": int(other in self.lost_shards),
+            }
+        return {"socket": socket}
+
+    def _collect(self, wall_time: float):
+        result = super()._collect(wall_time)
+        if result.obs is not None and self.links:
+            result.obs["socket_links"] = self.socket_links()
+        return result
+
     def socket_summary(self) -> Dict[str, int]:
         """Summed socket-link counters of this shard (for the run report)."""
         totals = SocketLinkStats()

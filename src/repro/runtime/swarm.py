@@ -252,6 +252,9 @@ class LiveSwarm:
         #: so disabled instrumentation costs one attribute read per site.
         self.obs = ObsRecorder(obs) if obs is not None else NULL_OBS
         self.obs.bind_clock(self.sim_now)
+        #: Cached flow matrix (``None`` when flows are off) so the
+        #: ``deliver``/link hot paths pay one load + ``is not None`` test.
+        self._flows = self.obs.flows
         self._stall_dumped = False
         #: Live telemetry (``docs/observability.md`` → *Live telemetry &
         #: SLOs*): when obs is on and a sink is attached — the cluster
@@ -415,12 +418,23 @@ class LiveSwarm:
         LoopbackLink`; a cluster shard substitutes a socket link for
         destinations hosted elsewhere.
         """
+        flows = self._flows
+        if flows is not None:
+            flows.record(src, dst, len(frame), data)
         self.messages_sent += 1
         self.link_for(dst).send(src, dst, frame, data)
 
     def link_for(self, dst: int) -> Link:
         """The link that carries frames towards ``dst`` (loopback here)."""
         return self.loopback
+
+    def shard_of(self, ring_id: int) -> int:
+        """Which shard hosts ``ring_id`` (a single-process swarm is shard 0).
+
+        Flow-matrix accounting keys the physical shard-pair matrix on
+        this; ``ShardSwarm`` overrides it with the real ring partition.
+        """
+        return 0
 
     def hop_of(self, dst: int) -> Optional[int]:
         """Remote shard a frame towards ``dst`` routes through, or ``None``.
@@ -578,6 +592,16 @@ class LiveSwarm:
         metrics.set_gauge("peers_live", self._peers_live())
         metrics.set_gauge("messages_sent", self.messages_sent)
         metrics.set_gauge("bytes_on_wire", self.bytes_on_wire)
+        topo = self.obs.topo
+        if topo is not None:
+            snap = topo.observe(self, round_index)
+            # Additive pieces ride the gauge series (gauges sum across
+            # shards in merge_metrics, so only counts go in — ratios are
+            # recomputed wherever they are displayed).
+            metrics.set_gauge("topo_partner_pairs", snap["partner_pairs"])
+            metrics.set_gauge("topo_covered_pairs", snap["covered_pairs"])
+            metrics.set_gauge("topo_finger_alive", snap["finger_alive"])
+            metrics.set_gauge("topo_finger_total", snap["finger_total"])
         self.obs.snapshot(round_index)
 
     def _emit_telemetry(self, round_index: int) -> None:
@@ -621,7 +645,24 @@ class LiveSwarm:
             "miss_causes": miss_causes,
             "flight": flight,
         }
+        flows = self._flows
+        if flows is not None:
+            pair_delta = flows.pair_delta()
+            if pair_delta:
+                body["flows"] = pair_delta
+        topo = self.obs.topo
+        if topo is not None:
+            topo_summary = topo.telemetry()
+            if topo_summary is not None:
+                body["topo"] = topo_summary
+        extras = self._telemetry_extras()
+        if extras:
+            body.update(extras)
         self.telemetry_sink(body)
+
+    def _telemetry_extras(self) -> Dict[str, Any]:
+        """Extra telemetry body fields: cluster shards add socket stats."""
+        return {}
 
     async def _boundary_sync(self, round_index: int, own_lateness: float) -> None:
         """Fold this boundary's lateness into the schedule dilation.

@@ -187,14 +187,18 @@ class TestClusterObs:
     """Trace ids ride the shard sockets: journeys span worker processes."""
 
     @pytest.fixture(scope="class")
-    def traced_obs(self):
+    def traced_result(self):
         spec = builtin_scenario("static").scaled(num_nodes=24, rounds=8, seed=11)
         result = run_cluster(
             spec, shards=2, rounds=8, time_scale=SMALL_SCALE,
             obs=ObsConfig(trace_sample=4),
         )
         assert result.obs is not None
-        return result.obs
+        return result
+
+    @pytest.fixture(scope="class")
+    def traced_obs(self, traced_result):
+        return traced_result.obs
 
     def test_traces_propagate_across_the_shard_socket_hop(self, traced_obs):
         by_trace = {}
@@ -234,6 +238,35 @@ class TestClusterObs:
         # gauges sum across shards: the merged view reads as cluster totals
         assert traced_obs["metrics"]["gauges"].get("messages_sent", 0) > 0
         assert "messages_sent" in traced_obs["metrics"]["series"]
+
+    def test_flow_pairs_reconcile_with_cluster_wire_bytes(
+        self, traced_result, traced_obs
+    ):
+        """The merged shard-pair matrix accounts for every wire byte —
+        charged at the same line as ``bytes_on_wire``, so equality is by
+        construction, and any drift means a send path went dark."""
+        pairs = traced_obs["flows"]["pairs"]
+        assert sum(row[3] for row in pairs) == traced_result.bytes_on_wire
+        shards_seen = {(src, dst) for src, dst, _f, _b in pairs}
+        # 24 nodes over 2 shards partner across the ring: both the
+        # intra-shard diagonals and a cross-shard direction must carry.
+        assert {(0, 0), (1, 1)} <= shards_seen
+        assert any(src != dst for src, dst in shards_seen)
+
+    def test_merged_topology_spans_both_shards(self, traced_obs):
+        topo = traced_obs["topo"]
+        assert topo["shards_merged"] == 2
+        assert topo["components"] == 1  # a static 24-node overlay never splits
+        assert 0 < topo["coverage"] <= 1.0
+        assert topo["nodes"] == 24
+        assert topo["finger_total"] > 0
+
+    def test_socket_link_stats_are_exported_per_shard_pair(self, traced_obs):
+        rows = traced_obs["socket_links"]
+        assert {(r["src_shard"], r["dst_shard"]) for r in rows} == {(0, 1), (1, 0)}
+        for row in rows:
+            assert row["bytes_out"] > 0 and row["frames_out"] > 0
+            assert row["lost"] == 0
 
 
 class TestClusterParity:

@@ -243,6 +243,116 @@ class TestZeroOverheadIdentity:
         assert metered.continuity_series() == base.continuity_series()
         assert metered.obs is not None
 
+    def test_flows_and_topo_ride_along_without_protocol_impact(self):
+        """Flow/topo observation (on by default) never perturbs the run."""
+        base = self._run(None)
+        full = self._run(ObsConfig(tracing=False))  # flows+topo default on
+        lean = self._run(ObsConfig(tracing=False, flows=False, topo=False))
+        assert "flows" in full.obs and "topo" in full.obs
+        assert "flows" not in lean.obs and "topo" not in lean.obs
+        for run in (full, lean):
+            assert run.continuity_series() == base.continuity_series()
+            assert run.messages_sent == base.messages_sent
+            assert run.bytes_on_wire == base.bytes_on_wire
+            assert run.transport == base.transport
+
+    def test_flow_pairs_reconcile_with_bytes_on_wire(self):
+        run = self._run(ObsConfig(trace_sample=4))
+        pairs = run.obs["flows"]["pairs"]
+        assert pairs == [[0, 0, pairs[0][2], run.bytes_on_wire]]
+
+    def test_topo_snapshot_reports_coverage_and_components(self):
+        run = self._run(ObsConfig(tracing=False))
+        topo = run.obs["topo"]
+        assert topo["components"] == 1
+        assert 0.0 < topo["coverage"] <= 1.0
+        assert topo["partner_pairs"] > 0
+        assert topo["nodes"] == topo["component_nodes"]
+        assert topo["finger_total"] > 0
+
+
+class TestSparkline:
+    """Flat/degenerate series must render without a div-by-zero."""
+
+    def test_empty_series_renders_empty(self):
+        from repro.obs.report import _sparkline
+
+        assert _sparkline([]) == ""
+
+    def test_single_value_renders_one_low_block(self):
+        from repro.obs.report import _sparkline, _SPARK
+
+        assert _sparkline([3.7]) == _SPARK[0]
+
+    def test_all_equal_values_render_flat(self):
+        from repro.obs.report import _sparkline, _SPARK
+
+        for value in (0.0, -2.5, 1e9):
+            out = _sparkline([value] * 7)
+            assert out == _SPARK[0] * 7
+
+    def test_flat_series_longer_than_width_downsamples_flat(self):
+        from repro.obs.report import _sparkline, _SPARK
+
+        out = _sparkline([1.0] * 100, width=32)
+        assert out == _SPARK[0] * 32
+
+    def test_varying_series_spans_the_ramp(self):
+        from repro.obs.report import _sparkline, _SPARK
+
+        out = _sparkline([0.0, 1.0])
+        assert out == _SPARK[0] + _SPARK[-1]
+
+
+class TestHistogramPercentiles:
+    def test_small_sample_percentiles_are_exact(self):
+        from repro.obs import Histogram
+
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        d = h.to_dict()
+        assert d["p50"] == 51.0
+        assert d["p95"] == 96.0
+
+    def test_empty_histogram_has_no_percentiles(self):
+        from repro.obs import Histogram
+
+        assert "p50" not in Histogram().to_dict()
+
+    def test_reservoir_stays_bounded_and_deterministic(self):
+        from repro.obs import Histogram
+
+        a, b = Histogram(), Histogram()
+        for v in range(20_000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert len(a._samples) < Histogram.RESERVOIR
+        assert a._samples == b._samples  # no RNG anywhere
+        # The decimated reservoir still tracks the distribution.
+        assert a.to_dict()["p50"] == pytest.approx(10_000, rel=0.15)
+        assert a.to_dict()["p95"] == pytest.approx(19_000, rel=0.15)
+
+    def test_merge_weights_percentiles_by_count(self):
+        from repro.obs import merge_metrics
+
+        a = {"histograms": {"lag": {"count": 3, "sum": 3.0, "min": 1.0, "max": 1.0, "p50": 1.0, "p95": 1.0}}}
+        b = {"histograms": {"lag": {"count": 1, "sum": 5.0, "min": 5.0, "max": 5.0, "p50": 5.0, "p95": 5.0}}}
+        merged = merge_metrics([a, b])["histograms"]["lag"]
+        assert merged["p50"] == pytest.approx(2.0)
+        assert merged["count"] == 4
+        assert "_p50_weighted" not in merged
+
+    def test_report_renders_percentiles(self):
+        from repro.obs import Histogram
+        from repro.obs.report import render_report
+
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        report = render_report({"metrics": {"histograms": {"phase_gossip_s": h.to_dict()}}})
+        assert "p50=" in report and "p95=" in report
+
 
 class TestJourneyAttribution:
     """A lossy virtual run yields complete journeys with miss causes."""

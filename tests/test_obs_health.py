@@ -364,6 +364,57 @@ class TestTelemetryWriter:
         assert 'continu_messages_sent{shard="0"} 12' in prom
         assert "# TYPE continu_miss_cause_delivered_late counter" in prom
 
+    def test_metric_names_are_sanitized_to_the_prom_charset(self, tmp_path):
+        """Scenario-derived names with quotes/backslashes/newlines must
+        still produce a parseable exposition file."""
+        import re
+
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(path) as writer:
+            writer.frame(
+                frame(
+                    shard=0,
+                    gauges={'weird "gauge"\nwith\\stuff': 1.5, "dotted.name-x": 2.0},
+                    counters={"3starts_with_digit": 4.0},
+                    miss_causes={'ca"use\\with\nnewline': 2},
+                )
+            )
+        prom = writer.exposition_path.read_text()
+        assert "continu_weird__gauge__with_stuff" in prom
+        assert "continu_dotted_name_x" in prom
+        assert "continu__3starts_with_digit" in prom
+        assert "continu_miss_cause_ca_use_with_newline" in prom
+        # Every non-comment line must match the exposition grammar.
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*\{shard="[^"\n]*"\} \S+$'
+        )
+        for line in prom.splitlines():
+            if not line or line.startswith("# "):
+                continue
+            assert sample.match(line), line
+
+    def test_colliding_sanitized_names_merge_instead_of_duplicating(self, tmp_path):
+        with TelemetryWriter(tmp_path / "t.jsonl") as writer:
+            writer.frame(frame(shard=0, counters={"a.b": 1.0, "a-b": 2.0}))
+        prom = writer.exposition_path.read_text()
+        assert prom.count('continu_a_b{shard="0"}') == 1
+        assert 'continu_a_b{shard="0"} 3' in prom
+
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        from repro.obs.live import _prom_escape
+
+        assert _prom_escape('a"b') == 'a\\"b'
+        assert _prom_escape("a\\b") == "a\\\\b"
+        assert _prom_escape("a\nb") == "a\\nb"
+
+    def test_namespace_is_sanitized_too(self, tmp_path):
+        with TelemetryWriter(
+            tmp_path / "t.jsonl", namespace='bad "ns"'
+        ) as writer:
+            writer.frame(frame(shard=0))
+        prom = writer.exposition_path.read_text()
+        assert "bad__ns__continuity" in prom
+
     def test_writer_counts_and_close_is_idempotent(self, tmp_path):
         writer = TelemetryWriter(tmp_path / "t.jsonl")
         writer.frame(frame())
